@@ -1,0 +1,122 @@
+// Package apujoin is a library-level reproduction of "Revisiting
+// Co-Processing for Hash Joins on the Coupled CPU-GPU Architecture"
+// (He, Lu, He — VLDB 2013) in pure Go.
+//
+// The library implements the paper's simple and radix-partitioned hash
+// joins decomposed into fine-grained per-tuple steps, the co-processing
+// schemes that schedule those steps across a coupled CPU-GPU chip
+// (off-loading, data dividing, pipelined execution, and the BasicUnit
+// baseline), the cost model that picks the workload ratios, and every
+// supporting substrate: a calibrated device model of the AMD A8-3870K APU,
+// a shared-L2 cache model, the zero-copy buffer, an emulated PCI-e bus for
+// discrete-architecture comparisons, and the software memory allocator.
+//
+// Joins execute for real — match counts are exact — while elapsed times
+// are simulated by the device model, since this environment has no OpenCL
+// runtime or APU silicon (see DESIGN.md for the substitution table).
+//
+// Quickstart:
+//
+//	r := apujoin.Gen{N: 1 << 20, Seed: 1}.Build()
+//	s := apujoin.Gen{N: 1 << 20, Seed: 2}.Probe(r, 1.0)
+//	res, err := apujoin.Join(r, s, apujoin.Options{
+//		Algo:   apujoin.PHJ,
+//		Scheme: apujoin.PL,
+//	})
+//	fmt.Println(res.Matches, res.TotalNS)
+package apujoin
+
+import (
+	"apujoin/internal/core"
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+)
+
+// Relation is a column-oriented relation of (RID, Key) int32 pairs.
+type Relation = rel.Relation
+
+// Gen generates the paper's synthetic datasets (uniform, low-skew s=10,
+// high-skew s=25; probe selectivity control).
+type Gen = rel.Gen
+
+// Distribution selects the key distribution of generated data.
+type Distribution = rel.Distribution
+
+// Data distributions (paper Sec. 5.1).
+const (
+	Uniform  = rel.Uniform
+	LowSkew  = rel.LowSkew
+	HighSkew = rel.HighSkew
+)
+
+// Options configures a join run; the zero value is a coupled-architecture
+// SHJ with the cost-model-tuned PL scheme disabled fields defaulted.
+type Options = core.Options
+
+// Result reports a join run: exact match count, simulated phase breakdown,
+// chosen ratios, cost-model estimate and cache statistics.
+type Result = core.Result
+
+// ExternalResult reports a join larger than the zero-copy buffer.
+type ExternalResult = core.ExternalResult
+
+// Algorithms.
+const (
+	// SHJ is the simple (no partitioning) hash join.
+	SHJ = core.SHJ
+	// PHJ is the radix-partitioned hash join.
+	PHJ = core.PHJ
+)
+
+// Co-processing schemes (paper Sec. 3.2 and appendix).
+const (
+	CPUOnly   = core.CPUOnly
+	GPUOnly   = core.GPUOnly
+	OL        = core.OL
+	DD        = core.DD
+	PL        = core.PL
+	BasicUnit = core.BasicUnit
+	CoarsePL  = core.CoarsePL
+)
+
+// Architectures.
+const (
+	// Coupled is the APU: shared memory and L2, no bus.
+	Coupled = core.Coupled
+	// Discrete emulates a discrete system with PCI-e transfers and
+	// separate per-device hash tables.
+	Discrete = core.Discrete
+)
+
+// ErrExceedsZeroCopy reports that the join does not fit the zero-copy
+// buffer; use JoinExternal.
+var ErrExceedsZeroCopy = core.ErrExceedsZeroCopy
+
+// Join executes one hash join of R ⋈ S under the configured algorithm,
+// co-processing scheme and architecture.
+func Join(r, s Relation, opt Options) (*Result, error) {
+	return core.Run(r, s, opt)
+}
+
+// JoinExternal joins relations whose footprint exceeds the zero-copy
+// buffer, partitioning through the buffer in chunks (paper appendix).
+func JoinExternal(r, s Relation, opt Options) (*ExternalResult, error) {
+	return core.RunExternal(r, s, opt)
+}
+
+// NaiveJoinCount is the reference match count (map-based), useful to
+// verify results in examples and tests.
+func NaiveJoinCount(r, s Relation) int64 {
+	return rel.NaiveJoinCount(r, s)
+}
+
+// ZeroCopyBuffer returns a zero-copy buffer tracker of the given capacity
+// in bytes for Options.ZeroCopy; capacity ≤ 0 yields the A8-3870K's
+// 512 MB. Shrinking it forces the external-join path at smaller scales.
+func ZeroCopyBuffer(capacity int64) *mem.ZeroCopy {
+	z := mem.NewZeroCopy()
+	if capacity > 0 {
+		z.Capacity = capacity
+	}
+	return z
+}

@@ -1,0 +1,136 @@
+// Command apujoin runs a single co-processed hash join and reports the
+// result: exact matches, simulated phase breakdown, chosen ratios, cost
+// model estimate, cache and allocator statistics.
+//
+// Example:
+//
+//	apujoin -algo phj -scheme pl -r 1048576 -s 4194304 -sel 0.5 -skew high
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"apujoin"
+	"apujoin/internal/alloc"
+)
+
+func main() {
+	algoF := flag.String("algo", "shj", "join algorithm: shj | phj")
+	schemeF := flag.String("scheme", "pl", "scheme: cpu | gpu | ol | dd | pl | basicunit | coarsepl")
+	archF := flag.String("arch", "coupled", "architecture: coupled | discrete")
+	nr := flag.Int("r", 1<<20, "build relation tuples")
+	ns := flag.Int("s", 1<<20, "probe relation tuples")
+	sel := flag.Float64("sel", 1.0, "join selectivity [0,1]")
+	skew := flag.String("skew", "uniform", "data skew: uniform | low | high")
+	seed := flag.Int64("seed", 42, "data generation seed")
+	separate := flag.Bool("separate", false, "separate per-device hash tables")
+	grouping := flag.Bool("grouping", false, "workload-divergence grouping")
+	delta := flag.Float64("delta", 0.02, "ratio grid granularity δ")
+	basic := flag.Bool("basic-alloc", false, "use the basic (contended) memory allocator")
+	block := flag.Int("block", alloc.DefaultBlockBytes, "allocator block size (bytes)")
+	flag.Parse()
+
+	opt := apujoin.Options{
+		Delta:          *delta,
+		SeparateTables: *separate,
+		Grouping:       *grouping,
+	}
+	opt.Alloc.BlockBytes = *block
+	if *basic {
+		opt.Alloc.Strategy = alloc.Basic
+	}
+
+	switch strings.ToLower(*algoF) {
+	case "shj":
+		opt.Algo = apujoin.SHJ
+	case "phj":
+		opt.Algo = apujoin.PHJ
+	default:
+		log.Fatalf("unknown algo %q", *algoF)
+	}
+	switch strings.ToLower(*schemeF) {
+	case "cpu":
+		opt.Scheme = apujoin.CPUOnly
+	case "gpu":
+		opt.Scheme = apujoin.GPUOnly
+	case "ol":
+		opt.Scheme = apujoin.OL
+	case "dd":
+		opt.Scheme = apujoin.DD
+	case "pl":
+		opt.Scheme = apujoin.PL
+	case "basicunit":
+		opt.Scheme = apujoin.BasicUnit
+	case "coarsepl":
+		opt.Scheme = apujoin.CoarsePL
+	default:
+		log.Fatalf("unknown scheme %q", *schemeF)
+	}
+	switch strings.ToLower(*archF) {
+	case "coupled":
+		opt.Arch = apujoin.Coupled
+	case "discrete":
+		opt.Arch = apujoin.Discrete
+	default:
+		log.Fatalf("unknown arch %q", *archF)
+	}
+
+	var dist apujoin.Distribution
+	switch strings.ToLower(*skew) {
+	case "uniform":
+		dist = apujoin.Uniform
+	case "low":
+		dist = apujoin.LowSkew
+	case "high":
+		dist = apujoin.HighSkew
+	default:
+		log.Fatalf("unknown skew %q", *skew)
+	}
+
+	r := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}.Build()
+	s := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}.Probe(r, *sel)
+
+	res, err := apujoin.Join(r, s, opt)
+	if err == apujoin.ErrExceedsZeroCopy {
+		ext, eerr := apujoin.JoinExternal(r, s, opt)
+		if eerr != nil {
+			log.Fatal(eerr)
+		}
+		fmt.Printf("external join (data > zero-copy buffer): %d matches\n", ext.Matches)
+		fmt.Printf("partition %.2f ms, join %.2f ms, data copy %.2f ms, total %.2f ms (%d pairs)\n",
+			ext.PartitionNS/1e6, ext.JoinNS/1e6, ext.DataCopyNS/1e6, ext.TotalNS/1e6, ext.Pairs)
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s-%s on %s: %d ⋈ %d tuples → %d matches\n",
+		res.Algo, res.Scheme, res.Arch, r.Len(), s.Len(), res.Matches)
+	fmt.Printf("total      %10.3f ms (estimated %.3f, lock overhead %.3f)\n",
+		res.TotalNS/1e6, res.EstimatedNS/1e6, res.LockOverheadNS/1e6)
+	fmt.Printf("partition  %10.3f ms\nbuild      %10.3f ms\nprobe      %10.3f ms\n",
+		res.PartitionNS/1e6, res.BuildNS/1e6, res.ProbeNS/1e6)
+	if res.MergeNS > 0 {
+		fmt.Printf("merge      %10.3f ms\n", res.MergeNS/1e6)
+	}
+	if res.TransferNS > 0 {
+		fmt.Printf("PCI-e      %10.3f ms\n", res.TransferNS/1e6)
+	}
+	if len(res.Ratios.Partition) > 0 {
+		fmt.Printf("partition ratios: %v\n", res.Ratios.Partition[0])
+	}
+	if res.Ratios.Build != nil {
+		fmt.Printf("build ratios:     %v\n", res.Ratios.Build)
+	}
+	if res.Ratios.Probe != nil {
+		fmt.Printf("probe ratios:     %v\n", res.Ratios.Probe)
+	}
+	fmt.Printf("L2: %d accesses, %d misses (%.0f%%)\n",
+		res.Cache.Accesses, res.Cache.Misses, res.Cache.MissRatio()*100)
+	fmt.Printf("allocator: %d allocs, %d global atomics, %d local ops\n",
+		res.AllocStats.Allocs, res.AllocStats.GlobalAtomics, res.AllocStats.LocalOps)
+}

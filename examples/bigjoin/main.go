@@ -1,0 +1,52 @@
+// Bigjoin: joining data larger than the zero-copy buffer (paper appendix,
+// Fig. 19). The library treats the buffer as "main memory" and system
+// memory as "external": inputs are radix-partitioned through the buffer in
+// chunks, intermediate partitions are copied out and linked, and each
+// partition pair is joined in-buffer.
+//
+// To keep the example fast, the buffer is scaled down so a 1M-tuple join
+// plays the role of the paper's 16M boundary case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apujoin"
+	"apujoin/internal/mem"
+)
+
+func main() {
+	const boundary = 1 << 19 // tuples that exactly fill the scaled buffer
+
+	for _, scale := range []int{1, 2, 4} {
+		n := boundary * scale
+		r := apujoin.Gen{N: n, Seed: 21}.Build()
+		s := apujoin.Gen{N: n, Seed: 22}.Probe(r, 1.0)
+
+		zc := mem.NewZeroCopy()
+		zc.Capacity = int64(boundary) * 32
+		opt := apujoin.Options{Algo: apujoin.PHJ, Scheme: apujoin.PL, ZeroCopy: zc}
+
+		if scale == 1 {
+			res, err := apujoin.Join(r, s, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%2dx (%8d tuples): fits buffer, join %.2f ms, %d matches\n",
+				scale, n, res.TotalNS/1e6, res.Matches)
+			continue
+		}
+
+		res, err := apujoin.JoinExternal(r, s, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2dx (%8d tuples): %d pairs; partition %.2f ms, join %.2f ms, copy %.2f ms, total %.2f ms, %d matches\n",
+			scale, n, res.Pairs, res.PartitionNS/1e6, res.JoinNS/1e6, res.DataCopyNS/1e6,
+			res.TotalNS/1e6, res.Matches)
+	}
+
+	fmt.Println("\nPartition and join time grow linearly with the input — the")
+	fmt.Println("scalability the paper reports for data beyond the buffer.")
+}

@@ -1,0 +1,49 @@
+// Skewaware: joins on skewed data, the case the simple hash join handles
+// surprisingly well (Blanas et al., confirmed by the paper): the heavy
+// key's rid list stays cache-resident, compensating latch contention.
+//
+// The example runs the uniform, low-skew (s=10) and high-skew (s=25)
+// datasets with and without the workload-divergence grouping optimization
+// (paper Sec. 3.3), which reorders probe tuples so GPU wavefronts perform
+// homogeneous work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"apujoin"
+)
+
+func main() {
+	const n = 1 << 20
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "dataset\tgrouping\tmatches\ttotal (ms)\tprobe (ms)")
+
+	for _, dist := range []apujoin.Distribution{apujoin.Uniform, apujoin.LowSkew, apujoin.HighSkew} {
+		r := apujoin.Gen{N: n, Dist: dist, Seed: 11}.Build()
+		s := apujoin.Gen{N: n, Dist: dist, Seed: 12}.Probe(r, 0.5)
+		for _, grouping := range []bool{false, true} {
+			res, err := apujoin.Join(r, s, apujoin.Options{
+				Algo:     apujoin.SHJ,
+				Scheme:   apujoin.PL,
+				Grouping: grouping,
+				Groups:   32,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%v\t%v\t%d\t%.2f\t%.2f\n",
+				dist, grouping, res.Matches, res.TotalNS/1e6, res.ProbeNS/1e6)
+		}
+	}
+	w.Flush()
+
+	fmt.Println("\nSkew multiplies matches (one heavy key joins s%×s% of both")
+	fmt.Println("relations) yet per-tuple cost stays moderate: the heavy rid list")
+	fmt.Println("is cache-resident. Grouping trims the GPU's wavefront divergence,")
+	fmt.Println("the paper reports 5-10% end to end.")
+}

@@ -1,0 +1,196 @@
+// Package alloc implements the software dynamic memory allocator of the
+// paper (Sec. 3.3, "Memory allocator").
+//
+// OpenCL 1.2 has no in-kernel malloc, so the paper pre-allocates an array
+// and serves requests from it. The Basic strategy advances a single global
+// pointer with one atomic add per request, which suffers heavy contention
+// under the GPU's thread parallelism. The Block strategy (the paper's
+// "optimized memory allocator") grabs a whole block per work group with one
+// global atomic and serves requests inside the block through a local-memory
+// pointer; the block size is the tuning knob evaluated in Fig. 11.
+//
+// The arena does the real allocation (offsets into a pre-allocated int32
+// array, mirroring OpenCL buffer indices instead of Go pointers) while
+// counting the global atomics and local-memory operations each strategy
+// would issue. Kernels snapshot Stats around their batch and feed the delta
+// into their device accounting record.
+package alloc
+
+import "fmt"
+
+// Strategy selects the allocator implementation.
+type Strategy int
+
+const (
+	// Block grabs block-sized chunks with a global atomic and serves
+	// requests from the chunk via a local pointer. It is the paper's
+	// optimized allocator and the default.
+	Block Strategy = iota
+	// Basic uses one global atomic add per allocation request.
+	Basic
+)
+
+// String names the strategy as in the paper's Fig. 12 ("Basic" / "Ours").
+func (s Strategy) String() string {
+	if s == Basic {
+		return "Basic"
+	}
+	return "Block"
+}
+
+// WordBytes is the allocation unit: a 4-byte integer, matching the paper's
+// all-int32 data layout.
+const WordBytes = 4
+
+// DefaultBlockBytes is the paper's tuned block size (Sec. 5.4: 2 KB).
+const DefaultBlockBytes = 2048
+
+// Config parameterizes an Arena.
+type Config struct {
+	Strategy   Strategy
+	BlockBytes int // used by Block; defaulted to DefaultBlockBytes
+}
+
+// Stats counts allocator activity. GlobalAtomics are contended operations on
+// the single global pointer; LocalOps are per-request local-memory updates
+// (Block strategy only). WastedWords counts fragmentation at block ends.
+type Stats struct {
+	Allocs        int64
+	Words         int64
+	GlobalAtomics int64
+	LocalOps      int64
+	WastedWords   int64
+}
+
+// Sub returns s - t, the activity between two snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Allocs:        s.Allocs - t.Allocs,
+		Words:         s.Words - t.Words,
+		GlobalAtomics: s.GlobalAtomics - t.GlobalAtomics,
+		LocalOps:      s.LocalOps - t.LocalOps,
+		WastedWords:   s.WastedWords - t.WastedWords,
+	}
+}
+
+// Arena is a pre-allocated int32 array serving dynamic requests.
+// It is not safe for concurrent use; the execution engine runs kernels
+// sequentially and models concurrency analytically.
+type Arena struct {
+	cfg        Config
+	words      []int32
+	next       int
+	blockLeft  int // words remaining in the current block (Block strategy)
+	blockWords int
+	stats      Stats
+}
+
+// New returns an arena with capacity for capWords int32 words.
+func New(cfg Config, capWords int) *Arena {
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = DefaultBlockBytes
+	}
+	bw := cfg.BlockBytes / WordBytes
+	if bw < 1 {
+		bw = 1
+	}
+	if capWords < 1 {
+		capWords = 1
+	}
+	return &Arena{cfg: cfg, words: make([]int32, capWords), blockWords: bw}
+}
+
+// Config returns the arena's configuration.
+func (a *Arena) Config() Config { return a.cfg }
+
+// Stats returns a snapshot of the allocator counters.
+func (a *Arena) Stats() Stats { return a.stats }
+
+// Used returns the number of words handed out (including block waste).
+func (a *Arena) Used() int { return a.next }
+
+// Cap returns the arena capacity in words.
+func (a *Arena) Cap() int { return len(a.words) }
+
+// Words exposes the backing array; callers index it with offsets returned
+// by Alloc, exactly as OpenCL kernels index a pre-allocated buffer.
+func (a *Arena) Words() []int32 { return a.words }
+
+// At returns a pointer to word i for read-modify-write sequences.
+func (a *Arena) At(i int32) *int32 { return &a.words[i] }
+
+// Alloc reserves n words and returns the offset of the first.
+// The arena grows transparently if exhausted (the paper sizes the
+// pre-allocation generously; growth keeps the library usable without
+// pre-sizing while the accounting still reflects the pre-allocated design).
+func (a *Arena) Alloc(n int) int32 {
+	if n <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive allocation %d", n))
+	}
+	a.stats.Allocs++
+	a.stats.Words += int64(n)
+
+	switch a.cfg.Strategy {
+	case Basic:
+		a.stats.GlobalAtomics++
+	case Block:
+		if n > a.blockWords {
+			// Oversized request bypasses blocking with a global atomic.
+			a.stats.GlobalAtomics++
+			a.blockLeft = 0
+			break
+		}
+		if a.blockLeft < n {
+			// Grab a fresh block: one global atomic; the remainder of the
+			// previous block is wasted.
+			a.stats.WastedWords += int64(a.blockLeft)
+			a.next += a.blockLeft
+			a.blockLeft = a.blockWords
+			a.stats.GlobalAtomics++
+		}
+		a.blockLeft -= n
+		a.stats.LocalOps++
+	}
+
+	off := a.next
+	a.ensure(off + n)
+	a.next = off + n
+	return int32(off)
+}
+
+// GroupGrabs accounts for the per-work-group partial blocks the single-stream
+// simulation cannot see: when a kernel with groups work groups finishes, each
+// group abandons its partial block. Callers invoke it once per kernel launch
+// under the Block strategy.
+func (a *Arena) GroupGrabs(groups int) {
+	if a.cfg.Strategy != Block || groups <= 1 {
+		return
+	}
+	// Each extra group grabbed at least one block of its own and wasted
+	// half a block on average.
+	a.stats.GlobalAtomics += int64(groups - 1)
+	a.stats.WastedWords += int64(groups-1) * int64(a.blockWords) / 2
+}
+
+// Reset forgets all allocations but keeps capacity and configuration.
+func (a *Arena) Reset() {
+	a.next = 0
+	a.blockLeft = 0
+	a.stats = Stats{}
+	for i := range a.words {
+		a.words[i] = 0
+	}
+}
+
+func (a *Arena) ensure(n int) {
+	if n <= len(a.words) {
+		return
+	}
+	newCap := len(a.words) * 2
+	for newCap < n {
+		newCap *= 2
+	}
+	w := make([]int32, newCap)
+	copy(w, a.words)
+	a.words = w
+}

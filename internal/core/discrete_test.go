@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"apujoin/internal/rel"
+)
+
+func TestDiscreteShape(t *testing.T) {
+	g := rel.Gen{N: 1 << 18, Seed: 1}
+	r := g.Build()
+	s := rel.Gen{N: 1 << 18, Seed: 2}.Probe(r, 1.0)
+	want := rel.NaiveJoinCount(r, s)
+	for _, algo := range []Algo{SHJ, PHJ} {
+		for _, sc := range []Scheme{DD, OL} {
+			for _, arch := range []Arch{Discrete, Coupled} {
+				res, err := Run(r, s, Options{Algo: algo, Scheme: sc, Arch: arch, Delta: 0.05})
+				if err != nil {
+					t.Fatalf("%v %v %v: %v", algo, sc, arch, err)
+				}
+				if res.Matches != want {
+					t.Errorf("%v %v %v: matches %d want %d", algo, sc, arch, res.Matches, want)
+				}
+				t.Logf("%v-%v %-8v total=%6.1fms transfer=%5.2fms merge=%5.2fms part=%5.1f build=%5.1f probe=%5.1f",
+					algo, sc, arch, res.TotalNS/1e6, res.TransferNS/1e6, res.MergeNS/1e6,
+					res.PartitionNS/1e6, res.BuildNS/1e6, res.ProbeNS/1e6)
+			}
+		}
+	}
+}

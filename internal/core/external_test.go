@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+)
+
+func TestExternalJoin(t *testing.T) {
+	g := rel.Gen{N: 1 << 18, Seed: 7}
+	r := g.Build()
+	s := rel.Gen{N: 1 << 18, Seed: 8}.Probe(r, 1.0)
+	want := rel.NaiveJoinCount(r, s)
+
+	// Shrink the zero-copy buffer so the data "exceeds" it.
+	zc := mem.NewZeroCopy()
+	zc.Capacity = 1 << 20 // 1 MB: forces external path
+	opt := Options{Algo: SHJ, Scheme: PL, Delta: 0.1, PilotItems: 4096, ZeroCopy: zc}
+	if _, err := Run(r, s, opt); err != ErrExceedsZeroCopy {
+		t.Fatalf("expected ErrExceedsZeroCopy, got %v", err)
+	}
+	res, err := RunExternal(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Errorf("matches %d want %d", res.Matches, want)
+	}
+	t.Logf("pairs=%d chunk=%d part=%.1fms join=%.1fms copy=%.1fms total=%.1fms",
+		res.Pairs, res.ChunkTuples, res.PartitionNS/1e6, res.JoinNS/1e6, res.DataCopyNS/1e6, res.TotalNS/1e6)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"apujoin/internal/alloc"
+	"apujoin/internal/cost"
+	"apujoin/internal/device"
+	"apujoin/internal/htab"
+	"apujoin/internal/mem"
+	"apujoin/internal/radix"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+)
+
+// chunkBytes is the memory footprint of one open partition chunk, used to
+// size the partition-phase cache working set.
+const chunkBytes = int64((1 + 2*radix.ChunkTuples) * 4)
+
+// partitionPhase runs the multi-pass radix partitioning of both relations
+// under the configured scheme, leaving rn.r / rn.s reordered by partition
+// with rn.partIdx* filled, and accumulating partition-phase timing into res.
+func (rn *runner) partitionPhase(res *Result, exec *sched.Exec, model *cost.Model, prof cost.SeriesProfile) error {
+	opt := rn.opt
+	plan := radix.PlanFor(rn.r.Len(), opt.RadixTargetBytes)
+	rn.parts = plan.Partitions()
+	rn.radixBits = plan.TotalBits()
+	avg := rn.r.Len() / rn.parts
+	if avg < 1 {
+		avg = 1
+	}
+	rn.bucketsPerPart = ceilPow2(avg)
+	rn.env.parts = rn.parts
+
+	for relIdx, in := range []rel.Relation{rn.r, rn.s} {
+		n := in.Len()
+		cur := rel.Relation{
+			Keys: append([]int32(nil), in.Keys...),
+			RIDs: append([]int32(nil), in.RIDs...),
+		}
+		buf := rel.Relation{Keys: make([]int32, n), RIDs: make([]int32, n)}
+		shift := opt.HashShift
+
+		for _, bits := range plan.BitsPerPass {
+			arena := alloc.New(opt.Alloc, n*3+radix.ChunkTuples*4)
+			pass := radix.NewPass(cur, arena, shift, bits)
+			rn.env.partitionStreams = int64(1<<bits) * chunkBytes
+
+			series := sched.Series{
+				Name:  "partition",
+				Items: n,
+				Steps: []sched.Step{
+					{ID: sched.N1, OutBytesPerItem: 4, Kernel: pass.N1},
+					{ID: sched.N2, OutBytesPerItem: 4, Kernel: pass.N2},
+					{ID: sched.N3, OutBytesPerItem: 0, Kernel: pass.N3},
+				},
+			}
+
+			if opt.Scheme == BasicUnit {
+				bu := exec.RunBasicUnit(series, opt.CPUChunk, opt.GPUChunk)
+				res.PartitionNS += bu.TotalNS
+				if relIdx == 0 && shift == opt.HashShift {
+					res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
+					res.Ratios.Partition = append(res.Ratios.Partition, sched.Uniform(bu.CPUShare, 3))
+				}
+			} else {
+				ratios, est := rn.chooseRatios(model, prof, n, len(series.Steps), opt.FixedPartition)
+				pres, err := exec.Run(series, ratios)
+				if err != nil {
+					return err
+				}
+				res.PartitionNS += pres.TotalNS - pres.TransferNS
+				res.TransferNS += pres.TransferNS
+				res.EstimatedNS += est
+				res.EstPartitionNS += est
+				recordSteps(res, "partition", pres, n)
+				if relIdx == 0 && shift == opt.HashShift {
+					res.Ratios.Partition = append(res.Ratios.Partition, ratios)
+				}
+				cs := rn.env.missStats(pres, rn.cpu, rn.gpu)
+				res.Cache.Accesses += cs.Accesses
+				res.Cache.Misses += cs.Misses
+
+				if opt.Arch == Discrete {
+					pcie := mem.NewPCIe()
+					gpuShare := 1 - avgRatio(ratios)
+					bytes := int64(gpuShare * float64(n) * 8)
+					res.TransferNS += pcie.TransferNS(bytes) * 2 // in + partitions back
+				}
+			}
+
+			// Link the partition chunks into contiguous form for the next
+			// pass / the join ("we link all the intermediate partitions
+			// together").
+			_, ga := pass.Gather(buf)
+			res.PartitionNS += rn.cpu.TimeNS(ga, rn.env.envFor(sched.N3, rn.cpu))
+
+			st := arena.Stats()
+			res.AllocStats.Allocs += st.Allocs
+			res.AllocStats.Words += st.Words
+			res.AllocStats.GlobalAtomics += st.GlobalAtomics
+			res.AllocStats.LocalOps += st.LocalOps
+			res.AllocStats.WastedWords += st.WastedWords
+
+			cur, buf = buf, cur
+			shift += bits
+		}
+
+		out := radix.Result{Rel: cur, Offsets: radix.FinalOffsetsShifted(cur, plan, opt.HashShift), Plan: plan}
+		idx := make([]int32, n)
+		out.PartIdx(idx)
+		if relIdx == 0 {
+			rn.r = out.Rel
+			rn.partIdxR = idx
+			rn.offsetsR = out.Offsets
+		} else {
+			rn.s = out.Rel
+			rn.partIdxS = idx
+			rn.offsetsS = out.Offsets
+		}
+	}
+	return nil
+}
+
+// coarsePairKernel joins whole partition pairs [lo,hi): the coarse-grained
+// step definition of Sec. 3.3, where one work item performs the complete
+// SHJ of a partition pair with its own private hash table.
+func (rn *runner) coarsePairKernel(d *device.Device, lo, hi int) device.Acct {
+	var a device.Acct
+	div := device.NewDivTracker(d.WavefrontSize)
+	for p := lo; p < hi; p++ {
+		rLo, rHi := int(rn.offsetsR[p]), int(rn.offsetsR[p+1])
+		sLo, sHi := int(rn.offsetsS[p]), int(rn.offsetsS[p+1])
+		work := int32(rHi - rLo + sHi - sLo + 1)
+
+		if rHi > rLo {
+			nb := rHi - rLo
+			if nb < 2 {
+				nb = 2
+			}
+			t := htab.New(nb, rn.arena)
+			for i := rLo; i < rHi; i++ {
+				a.Add(t.InsertOne(rn.r.Keys[i], rn.r.RIDs[i]))
+			}
+			for i := sLo; i < sHi; i++ {
+				a.Add(t.ProbeOne(rn.s.Keys[i], rn.s.RIDs[i], &rn.out))
+			}
+		}
+		a.Items++
+		div.Item(work)
+	}
+	div.Flush(&a)
+	return a
+}
+
+// coarseJoin runs the PHJ-PL' join-the-pairs step after partitioning.
+// The scheduling profile for the single coarse step is synthesized from the
+// pilot's per-tuple build and probe profiles scaled by the average pair
+// population, so the ratio choice needs no side-effecting probe run.
+func (rn *runner) coarseJoin(res *Result, model *cost.Model) error {
+	pairBytes := int64(0)
+	if rn.parts > 0 {
+		pairBytes = (rn.r.Bytes() + rn.s.Bytes() + estimateTableBytes(rn.r.Len(), rn.parts*rn.bucketsPerPart)) / int64(rn.parts)
+	}
+	rn.env.coarsePairBytes = pairBytes
+
+	prof := coarseProfile(res.BuildProfile, res.ProbeProfile,
+		float64(rn.r.Len())/float64(rn.parts), float64(rn.s.Len())/float64(rn.parts))
+
+	series := sched.Series{
+		Name:  "pairjoin",
+		Items: rn.parts,
+		Steps: []sched.Step{{ID: sched.P3, Kernel: rn.coarsePairKernel}},
+	}
+	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor}
+
+	ratio, est := model.OptimizeDD(prof, rn.parts, rn.opt.Delta)
+	ratios := sched.Uniform(ratio, 1)
+	cres, err := exec.Run(series, ratios)
+	if err != nil {
+		return err
+	}
+	// The pair joins cover both build and probe; attribute the time by the
+	// R/S tuple share for breakdown purposes.
+	total := cres.TotalNS
+	fr := float64(rn.r.Len()) / float64(rn.r.Len()+rn.s.Len())
+	res.BuildNS = total * fr
+	res.ProbeNS = total * (1 - fr)
+	res.EstimatedNS += est
+	res.Ratios.Build = ratios
+	res.Ratios.Probe = ratios
+	cs := rn.env.missStats(cres, rn.cpu, rn.gpu)
+	res.Cache.Accesses += cs.Accesses
+	res.Cache.Misses += cs.Misses
+	return nil
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"apujoin/internal/cost"
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+)
+
+// ErrExceedsZeroCopy reports that the join's data footprint does not fit
+// the zero-copy buffer; callers run RunExternal instead (paper appendix,
+// Fig. 19).
+var ErrExceedsZeroCopy = errors.New("core: data exceeds zero-copy buffer; use RunExternal")
+
+// Run executes one hash join under the configured algorithm, scheme and
+// architecture, returning the exact match count and the simulated timing.
+func Run(r, s rel.Relation, opt Options) (*Result, error) {
+	opt.SetDefaults()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("core: build relation: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: probe relation: %w", err)
+	}
+	if opt.SeparateTables && (opt.Scheme == PL || opt.Scheme == OL) {
+		// With one table per device, a tuple must stay on one device for
+		// the whole phase; per-step ratios would scatter its steps across
+		// both tables. The paper accordingly evaluates separate tables
+		// under DD, and notes PL is infeasible on the discrete
+		// architecture.
+		if opt.Scheme == PL {
+			return nil, fmt.Errorf("core: PL requires a shared hash table (infeasible with separate tables / on the discrete architecture)")
+		}
+	}
+
+	// Zero-copy footprint: both relations plus (approximately data-sized)
+	// join structures must fit the 512 MB buffer, which puts the boundary
+	// between the paper's 16M and 32M configurations.
+	dataBytes := r.Bytes() + s.Bytes()
+	foot := dataBytes * 2
+	if foot > opt.ZeroCopy.Capacity {
+		return nil, ErrExceedsZeroCopy
+	}
+	if err := opt.ZeroCopy.Alloc(foot); err != nil {
+		return nil, ErrExceedsZeroCopy
+	}
+	defer opt.ZeroCopy.Free(foot)
+
+	rn := newRunner(r, s, opt)
+	res := &Result{Algo: opt.Algo, Scheme: opt.Scheme, Arch: opt.Arch, ZeroCopyBytes: foot}
+
+	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor}
+	var pcie mem.PCIe
+	if opt.Arch == Discrete {
+		pcie = mem.NewPCIe()
+		exec.PCIe = &pcie
+	}
+
+	// Pilot profiling run (the "profiler" feeding the cost model).
+	prof := runPilot(r, s, opt)
+	res.BuildProfile = prof.build
+	res.ProbeProfile = prof.probe
+	res.PartitionProfile = prof.partition
+	model := &cost.Model{CPU: opt.CPU, GPU: opt.GPU, Env: rn.env.envFor}
+
+	// Partition phase (PHJ and PHJ-PL').
+	if opt.Algo == PHJ {
+		if err := rn.partitionPhase(res, exec, model, prof.partition); err != nil {
+			return nil, err
+		}
+	}
+
+	if opt.Scheme == CoarsePL {
+		if err := rn.coarseJoin(res, model); err != nil {
+			return nil, err
+		}
+		res.Matches = rn.out.Pairs
+		res.TotalNS = res.Breakdown.TotalNS()
+		res.AllocStats = rn.allocTotals()
+		finishEstimates(res)
+		return res, nil
+	}
+
+	rn.makeTables()
+
+	// Build phase.
+	buildSer := rn.buildSeries()
+	if opt.Scheme == BasicUnit {
+		bu := exec.RunBasicUnit(buildSer, opt.CPUChunk, opt.GPUChunk)
+		res.BuildNS = bu.TotalNS
+		res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
+		res.Ratios.Build = sched.Uniform(bu.CPUShare, len(buildSer.Steps))
+	} else {
+		ratios, est := rn.chooseRatios(model, prof.build, buildSer.Items, len(buildSer.Steps), opt.FixedBuild)
+		bres, err := exec.Run(buildSer, ratios)
+		if err != nil {
+			return nil, err
+		}
+		res.BuildNS = bres.TotalNS - bres.TransferNS
+		res.TransferNS += bres.TransferNS
+		res.Ratios.Build = ratios
+		res.EstimatedNS += est
+		res.EstBuildNS = est
+		recordSteps(res, "build", bres, buildSer.Items)
+		cs := rn.env.missStats(bres, rn.cpu, rn.gpu)
+		res.Cache.Accesses += cs.Accesses
+		res.Cache.Misses += cs.Misses
+	}
+
+	// Phase-granular PCI-e traffic on the discrete architecture: ship the
+	// GPU's input share over and its partial hash table back.
+	if opt.Arch == Discrete {
+		gpuShare := 1 - avgRatio(res.Ratios.Build)
+		in := pcie.TransferNS(int64(gpuShare * float64(r.Bytes())))
+		back := pcie.TransferNS(int64(gpuShare * float64(rn.env.tableBytes)))
+		res.TransferNS += in + back
+	}
+
+	// A build that ran entirely on the GPU leaves the complete table on
+	// the GPU side; probing continues there and no merge is needed (OL on
+	// the discrete architecture has only the transfer overhead, Sec. 5.2).
+	if rn.tableGPU != nil && avgRatio(res.Ratios.Build) == 0 {
+		rn.table, rn.tableGPU = rn.tableGPU, nil
+	}
+
+	// Merge the per-device tables (inherent to DD with separate tables).
+	if rn.tableGPU != nil && rn.tableGPU.NumKeys() > 0 {
+		acct := rn.table.Merge(rn.tableGPU)
+		res.MergeNS = rn.cpu.TimeNS(acct, rn.env.envFor(sched.B3, rn.cpu))
+	}
+	rn.merged = true
+	// The table is now fully built; refresh the working-set estimate with
+	// the actual resident size for the probe phase.
+	rn.env.tableBytes = rn.table.BytesResident()
+
+	// Probe phase.
+	probeSer := rn.probeSeries()
+	if opt.Scheme == BasicUnit {
+		bu := exec.RunBasicUnit(probeSer, opt.CPUChunk, opt.GPUChunk)
+		res.ProbeNS = bu.TotalNS
+		res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
+		res.Ratios.Probe = sched.Uniform(bu.CPUShare, len(probeSer.Steps))
+	} else {
+		ratios, est := rn.chooseRatios(model, prof.probe, probeSer.Items, len(probeSer.Steps), opt.FixedProbe)
+		pres, err := exec.Run(probeSer, ratios)
+		if err != nil {
+			return nil, err
+		}
+		res.ProbeNS = pres.TotalNS - pres.TransferNS
+		res.TransferNS += pres.TransferNS
+		res.Ratios.Probe = ratios
+		res.EstimatedNS += est
+		res.EstProbeNS = est
+		recordSteps(res, "probe", pres, probeSer.Items)
+		cs := rn.env.missStats(pres, rn.cpu, rn.gpu)
+		res.Cache.Accesses += cs.Accesses
+		res.Cache.Misses += cs.Misses
+	}
+	if opt.Arch == Discrete {
+		gpuShare := 1 - avgRatio(res.Ratios.Probe)
+		in := pcie.TransferNS(int64(gpuShare * float64(s.Bytes())))
+		back := pcie.TransferNS(int64(gpuShare * float64(rn.out.Pairs) * 8))
+		res.TransferNS += in + back
+	}
+
+	res.Matches = rn.out.Pairs
+	res.TotalNS = res.Breakdown.TotalNS()
+	res.AllocStats = rn.allocTotals()
+	finishEstimates(res)
+	return res, nil
+}
+
+// chooseRatios picks the workload ratios for one series according to the
+// scheme (or the caller's fixed override), returning them with the model's
+// estimate.
+func (rn *runner) chooseRatios(model *cost.Model, prof cost.SeriesProfile, items, steps int, fixed sched.Ratios) (sched.Ratios, float64) {
+	if fixed != nil {
+		if len(fixed) == 1 && steps > 1 {
+			fixed = sched.Uniform(fixed[0], steps)
+		}
+		return fixed, model.EstimateNS(prof, items, fixed)
+	}
+	switch rn.opt.Scheme {
+	case CPUOnly:
+		r := sched.Uniform(1, steps)
+		return r, model.EstimateNS(prof, items, r)
+	case GPUOnly:
+		r := sched.Uniform(0, steps)
+		return r, model.EstimateNS(prof, items, r)
+	case OL:
+		if rn.opt.SeparateTables {
+			// Whole-phase offload keeps each tuple on one device/table.
+			cpu := sched.Uniform(1, steps)
+			gpu := sched.Uniform(0, steps)
+			tc := model.EstimateNS(prof, items, cpu)
+			tg := model.EstimateNS(prof, items, gpu)
+			if tc < tg {
+				return cpu, tc
+			}
+			return gpu, tg
+		}
+		return model.OptimizeOL(prof, items)
+	case DD:
+		r, est := model.OptimizeDD(prof, items, rn.opt.Delta)
+		return sched.Uniform(r, steps), est
+	case PL, CoarsePL:
+		if rn.opt.FullGrid {
+			return model.OptimizePL(prof, items, rn.opt.Delta)
+		}
+		return model.OptimizePLRefined(prof, items, rn.opt.Delta)
+	default:
+		r := sched.Uniform(0.5, steps)
+		return r, model.EstimateNS(prof, items, r)
+	}
+}
+
+// finishEstimates derives the latch-overhead estimate the paper backs out
+// of measured−estimated (Sec. 5.4), over the phases the model covers.
+func finishEstimates(res *Result) {
+	if res.EstimatedNS <= 0 {
+		return
+	}
+	measured := res.PartitionNS + res.BuildNS + res.ProbeNS
+	if d := measured - res.EstimatedNS; d > 0 {
+		res.LockOverheadNS = d
+	}
+}
+
+// recordSteps appends the executed series' per-step timings to the result.
+func recordSteps(res *Result, phase string, sr sched.Result, items int) {
+	for _, st := range sr.Steps {
+		res.Steps = append(res.Steps, StepTiming{
+			Phase: phase, ID: st.ID, Items: items, Ratio: st.Ratio,
+			CPUNS: st.CPUNS, GPUNS: st.GPUNS,
+			DelayCPUNS: st.DelayCPUNS, DelayGPUNS: st.DelayGPUNS,
+		})
+	}
+}
+
+func avgRatio(rs sched.Ratios) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r
+	}
+	return t / float64(len(rs))
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+	"apujoin/internal/htab"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+)
+
+// runner holds the state of one join execution: relations, tables, scratch
+// arrays for the per-step intermediate results, and the device pair.
+type runner struct {
+	opt Options
+	r   rel.Relation
+	s   rel.Relation
+
+	cpu *device.Device
+	gpu *device.Device
+	env *envState
+
+	arena    *alloc.Arena // table nodes (CPU table when separate)
+	arenaGPU *alloc.Arena // GPU table nodes when separate
+	table    *htab.Table
+	tableGPU *htab.Table // nil when shared
+	merged   bool
+
+	outArena *alloc.Arena
+	out      htab.Out
+
+	// Intermediate per-step arrays (the "intermediate results" PL trades
+	// in): R-side for the build series, S-side for the probe series.
+	bucketR, headR, nodeR, workR []int32
+	bucketS, headS, nodeS, workS []int32
+
+	// PHJ state.
+	partIdxR, partIdxS []int32
+	offsetsR, offsetsS []int32
+	parts              int
+	bucketsPerPart     int
+	radixBits          uint
+}
+
+func newRunner(r, s rel.Relation, opt Options) *runner {
+	rn := &runner{
+		opt: opt,
+		r:   r,
+		s:   s,
+		cpu: device.New(opt.CPU),
+		gpu: device.New(opt.GPU),
+	}
+	nr, ns := r.Len(), s.Len()
+
+	rn.arena = alloc.New(opt.Alloc, nr*6+64)
+	if opt.SeparateTables {
+		rn.arenaGPU = alloc.New(opt.Alloc, nr*3+64)
+	}
+	rn.outArena = alloc.New(opt.Alloc, 64)
+	rn.out = htab.Out{Arena: rn.outArena, Materialize: !opt.CountOnly}
+
+	rn.bucketR = make([]int32, nr)
+	rn.headR = make([]int32, nr)
+	rn.nodeR = make([]int32, nr)
+	rn.workR = make([]int32, nr)
+	rn.bucketS = make([]int32, ns)
+	rn.headS = make([]int32, ns)
+	rn.nodeS = make([]int32, ns)
+	rn.workS = make([]int32, ns)
+
+	rn.env = &envState{
+		cache:           opt.Cache,
+		parts:           1,
+		shared:          !opt.SeparateTables,
+		scratchPressure: 512 << 10, // streaming intermediates pollute ~0.5 MB
+	}
+	return rn
+}
+
+// makeTables creates the hash table(s). For SHJ the bucket count is the
+// next power of two of |R| (load factor ≤ 1); for PHJ the segmented layout
+// is parts × bucketsPerPart.
+func (rn *runner) makeTables() {
+	if rn.opt.Algo == PHJ {
+		rn.table = htab.NewSeg(rn.parts, rn.bucketsPerPart, rn.opt.HashShift, rn.radixBits, rn.arena)
+		if rn.opt.SeparateTables {
+			rn.tableGPU = htab.NewSeg(rn.parts, rn.bucketsPerPart, rn.opt.HashShift, rn.radixBits, rn.arenaGPU)
+		}
+	} else {
+		rn.table = htab.NewShifted(rn.r.Len(), rn.opt.HashShift, rn.arena)
+		if rn.opt.SeparateTables {
+			rn.tableGPU = htab.NewShifted(rn.r.Len(), rn.opt.HashShift, rn.arenaGPU)
+		}
+	}
+	rn.env.tableBytes = estimateTableBytes(rn.r.Len(), rn.table.NBuckets())
+}
+
+// tableFor routes a kernel to the device's table: with separate tables the
+// GPU builds its own; after the merge (or with a shared table) everyone
+// sees one table.
+func (rn *runner) tableFor(d *device.Device) *htab.Table {
+	if rn.tableGPU != nil && !rn.merged && d.Kind == device.GPU {
+		return rn.tableGPU
+	}
+	return rn.table
+}
+
+// grouping computes the grouped execution order for a divergent step on a
+// SIMD device and the accounting of the grouping pass itself.
+func (rn *runner) grouping(d *device.Device, work []int32, lo, hi int) ([]int32, device.Acct) {
+	var a device.Acct
+	if !rn.opt.Grouping || d.WavefrontSize <= 1 || hi-lo <= 1 {
+		return nil, a
+	}
+	order := sched.GroupOrder(work, lo, hi, rn.opt.Groups)
+	instr, seq, rnd := sched.GroupCostAcct(hi - lo)
+	a.Instr = instr
+	a.SeqBytes = seq
+	a.Rand[device.RegionScratch] = rnd
+	return order, a
+}
+
+// buildSeries returns the build step series (b1..b4) over R.
+func (rn *runner) buildSeries() sched.Series {
+	keys, rids := rn.r.Keys, rn.r.RIDs
+	steps := []sched.Step{
+		{
+			ID: sched.B1, OutBytesPerItem: 4,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				if rn.opt.Algo == PHJ {
+					return rn.tableFor(d).B1Seg(d, keys, rn.partIdxR, rn.bucketR, lo, hi)
+				}
+				return rn.tableFor(d).B1(d, keys, rn.bucketR, lo, hi)
+			},
+		},
+		{
+			ID: sched.B2, OutBytesPerItem: 8,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				return rn.tableFor(d).B2(d, rn.bucketR, rn.headR, rn.workR, lo, hi)
+			},
+		},
+		{
+			ID: sched.B3, OutBytesPerItem: 4,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				order, ga := rn.grouping(d, rn.workR, lo, hi)
+				a := rn.tableFor(d).B3(d, keys, rn.bucketR, rn.nodeR, lo, hi, order)
+				a.Add(ga)
+				return a
+			},
+		},
+		{
+			ID: sched.B4, OutBytesPerItem: 0,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				return rn.tableFor(d).B4(d, rids, rn.nodeR, lo, hi)
+			},
+		},
+	}
+	return sched.Series{Name: "build", Items: rn.r.Len(), Steps: steps}
+}
+
+// probeSeries returns the probe step series (p1..p4) over S.
+func (rn *runner) probeSeries() sched.Series {
+	keys, rids := rn.s.Keys, rn.s.RIDs
+	steps := []sched.Step{
+		{
+			ID: sched.P1, OutBytesPerItem: 4,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				if rn.opt.Algo == PHJ {
+					return rn.tableFor(d).P1Seg(d, keys, rn.partIdxS, rn.bucketS, lo, hi)
+				}
+				return rn.tableFor(d).P1(d, keys, rn.bucketS, lo, hi)
+			},
+		},
+		{
+			ID: sched.P2, OutBytesPerItem: 12,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				return rn.tableFor(d).P2(d, rn.bucketS, rn.headS, rn.workS, lo, hi)
+			},
+		},
+		{
+			ID: sched.P3, OutBytesPerItem: 4,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				order, ga := rn.grouping(d, rn.workS, lo, hi)
+				a := rn.tableFor(d).P3(d, keys, rn.headS, rn.nodeS, lo, hi, order)
+				a.Add(ga)
+				return a
+			},
+		},
+		{
+			ID: sched.P4, OutBytesPerItem: 0,
+			Kernel: func(d *device.Device, lo, hi int) device.Acct {
+				order, ga := rn.grouping(d, rn.workS, lo, hi)
+				a := rn.tableFor(d).P4(d, rids, rn.nodeS, &rn.out, lo, hi, order)
+				a.Add(ga)
+				return a
+			},
+		},
+	}
+	return sched.Series{Name: "probe", Items: rn.s.Len(), Steps: steps}
+}
+
+// allocTotals aggregates allocator activity across the run's arenas.
+func (rn *runner) allocTotals() alloc.Stats {
+	st := rn.arena.Stats()
+	add := func(o alloc.Stats) {
+		st.Allocs += o.Allocs
+		st.Words += o.Words
+		st.GlobalAtomics += o.GlobalAtomics
+		st.LocalOps += o.LocalOps
+		st.WastedWords += o.WastedWords
+	}
+	if rn.arenaGPU != nil {
+		add(rn.arenaGPU.Stats())
+	}
+	add(rn.outArena.Stats())
+	return st
+}

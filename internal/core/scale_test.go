@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"apujoin/internal/rel"
+)
+
+func TestScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := rel.Gen{N: 1 << 20, Seed: 1}
+	r := g.Build()
+	s := rel.Gen{N: 1 << 20, Seed: 2}.Probe(r, 1.0)
+	for _, algo := range []Algo{SHJ, PHJ} {
+		for _, sc := range []Scheme{CPUOnly, GPUOnly, DD, PL, BasicUnit} {
+			res, err := Run(r, s, Options{Algo: algo, Scheme: sc, Delta: 0.05})
+			if err != nil {
+				t.Fatalf("%v %v: %v", algo, sc, err)
+			}
+			t.Logf("%v %-9v total=%6.1fms est=%6.1fms part=%6.1f build=%6.1f probe=%6.1f buildR=%v probeR=%v",
+				algo, sc, res.TotalNS/1e6, res.EstimatedNS/1e6, res.PartitionNS/1e6, res.BuildNS/1e6, res.ProbeNS/1e6,
+				res.Ratios.Build, res.Ratios.Probe)
+		}
+	}
+	res, _ := Run(r, s, Options{Algo: PHJ, Scheme: CoarsePL, Delta: 0.05})
+	t.Logf("PHJ PL'       total=%6.1fms cacheMiss=%.0f%%", res.TotalNS/1e6, res.Cache.MissRatio()*100)
+}

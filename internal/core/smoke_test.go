@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"apujoin/internal/rel"
+)
+
+func TestSmoke(t *testing.T) {
+	g := rel.Gen{N: 20000, Seed: 1}
+	r := g.Build()
+	s := rel.Gen{N: 30000, Seed: 2}.Probe(r, 0.8)
+	want := rel.NaiveJoinCount(r, s)
+	for _, algo := range []Algo{SHJ, PHJ} {
+		for _, sc := range []Scheme{CPUOnly, GPUOnly, OL, DD, PL, BasicUnit} {
+			opt := Options{Algo: algo, Scheme: sc, Delta: 0.1, PilotItems: 8192}
+			res, err := Run(r, s, opt)
+			if err != nil {
+				t.Fatalf("%v %v: %v", algo, sc, err)
+			}
+			if res.Matches != want {
+				t.Errorf("%v %v: matches %d want %d", algo, sc, res.Matches, want)
+			}
+			t.Logf("%v %-9v total=%.2fms est=%.2fms part=%.2f build=%.2f probe=%.2f ratios=%v", algo, sc,
+				res.TotalNS/1e6, res.EstimatedNS/1e6, res.PartitionNS/1e6, res.BuildNS/1e6, res.ProbeNS/1e6, res.Ratios.Build)
+		}
+	}
+	// CoarsePL
+	res, err := Run(r, s, Options{Algo: PHJ, Scheme: CoarsePL, Delta: 0.1, PilotItems: 8192})
+	if err != nil {
+		t.Fatalf("coarse: %v", err)
+	}
+	if res.Matches != want {
+		t.Errorf("coarse: matches %d want %d", res.Matches, want)
+	}
+	t.Logf("PHJ PL' total=%.2fms", res.TotalNS/1e6)
+}

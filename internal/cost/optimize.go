@@ -1,0 +1,161 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"apujoin/internal/sched"
+)
+
+// DefaultDelta is the ratio grid granularity the paper uses (δ = 0.02,
+// "a tradeoff between the effectiveness and the execution time of
+// optimizations").
+const DefaultDelta = 0.02
+
+// gridValues returns the candidate ratios 0, δ, 2δ, …, 1.
+func gridValues(delta float64) []float64 {
+	if delta <= 0 || delta > 1 {
+		delta = DefaultDelta
+	}
+	var vs []float64
+	for v := 0.0; v < 1.0+1e-9; v += delta {
+		if v > 1 {
+			v = 1
+		}
+		vs = append(vs, v)
+	}
+	if vs[len(vs)-1] < 1 {
+		vs = append(vs, 1)
+	}
+	return vs
+}
+
+// OptimizePL exhaustively searches the δ-grid over all per-step ratios —
+// the paper's approach ("we consider all the possible ratios at the step
+// of δ for r_i") — and returns the ratios with the lowest estimated time.
+//
+// The search space is |grid|^n; with δ=0.02 and a 4-step series that is
+// 51^4 ≈ 6.8M evaluations, which the closed-form model evaluates in well
+// under a minute. Callers with tighter budgets pass a coarser δ and refine
+// with OptimizePLRefined.
+func (m *Model) OptimizePL(sp SeriesProfile, items int, delta float64) (sched.Ratios, float64) {
+	vs := gridValues(delta)
+	n := len(sp.Steps)
+	cur := make(sched.Ratios, n)
+	best := make(sched.Ratios, n)
+	bestT := math.Inf(1)
+
+	var rec func(step int)
+	rec = func(step int) {
+		if step == n {
+			t := m.EstimateNS(sp, items, cur)
+			if t < bestT {
+				bestT = t
+				copy(best, cur)
+			}
+			return
+		}
+		for _, v := range vs {
+			cur[step] = v
+			rec(step + 1)
+		}
+	}
+	rec(0)
+	return best, bestT
+}
+
+// OptimizePLRefined runs a coarse grid pass followed by coordinate descent
+// at the requested δ. It finds the same optima as the full grid on the
+// well-behaved cost surfaces of the hash join series at a fraction of the
+// evaluations, and is what the join driver uses by default.
+func (m *Model) OptimizePLRefined(sp SeriesProfile, items int, delta float64) (sched.Ratios, float64) {
+	n := len(sp.Steps)
+	coarse := 0.1
+	if delta > coarse {
+		coarse = delta
+	}
+	best, bestT := m.OptimizePL(sp, items, coarse)
+
+	vs := gridValues(delta)
+	improved := true
+	for iter := 0; improved && iter < 32; iter++ {
+		improved = false
+		for step := 0; step < n; step++ {
+			orig := best[step]
+			for _, v := range vs {
+				if v == orig {
+					continue
+				}
+				best[step] = v
+				if t := m.EstimateNS(sp, items, best); t < bestT {
+					bestT = t
+					orig = v
+					improved = true
+				} else {
+					best[step] = orig
+				}
+			}
+			best[step] = orig
+		}
+	}
+	return best, bestT
+}
+
+// OptimizeDD searches the single-ratio space of the data-dividing scheme:
+// all steps share one ratio r.
+func (m *Model) OptimizeDD(sp SeriesProfile, items int, delta float64) (float64, float64) {
+	bestR, bestT := 0.0, math.Inf(1)
+	for _, v := range gridValues(delta) {
+		t := m.EstimateNS(sp, items, sched.Uniform(v, len(sp.Steps)))
+		if t < bestT {
+			bestT = t
+			bestR = v
+		}
+	}
+	return bestR, bestT
+}
+
+// OptimizeOL decides, per step, whether it runs entirely on the CPU or the
+// GPU — the off-loading scheme. On the coupled architecture the decision is
+// independent per step ("depending only on the performance comparison of
+// running the steps on the CPU and the GPU", Sec. 3.2), so the search is
+// linear rather than 2^n.
+func (m *Model) OptimizeOL(sp SeriesProfile, items int) (sched.Ratios, float64) {
+	n := len(sp.Steps)
+	ratios := make(sched.Ratios, n)
+	cpuDev, gpuDev := newDevPair(m)
+	for i, p := range sp.Steps {
+		tc := m.stepTime(p, m.CPU, cpuDev, float64(items))
+		tg := m.stepTime(p, m.GPU, gpuDev, float64(items))
+		if tc < tg {
+			ratios[i] = 1
+		} else {
+			ratios[i] = 0
+		}
+	}
+	return ratios, m.EstimateNS(sp, items, ratios)
+}
+
+// MonteCarloSample is one randomized PL configuration and its estimate.
+type MonteCarloSample struct {
+	Ratios sched.Ratios
+	NS     float64
+}
+
+// MonteCarlo evaluates runs random ratio settings (paper Sec. 5.3, Fig. 9)
+// and returns the samples sorted by estimated time, ready for a CDF.
+func (m *Model) MonteCarlo(sp SeriesProfile, items, runs int, seed int64) []MonteCarloSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MonteCarloSample, 0, runs)
+	n := len(sp.Steps)
+	for k := 0; k < runs; k++ {
+		r := make(sched.Ratios, n)
+		for i := range r {
+			r[i] = float64(rng.Intn(51)) / 50 // δ=0.02 grid, uniform
+		}
+		out = append(out, MonteCarloSample{Ratios: r, NS: m.EstimateNS(sp, items, r)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NS < out[j].NS })
+	return out
+}

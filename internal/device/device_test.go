@@ -1,0 +1,214 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{APUCPU(), APUGPU(), DiscreteGPU()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	cases := []Profile{
+		{Name: "no-cores", ClockGHz: 1, IPC: 1, WavefrontSize: 1, BandwidthGBs: 1},
+		{Name: "no-clock", Cores: 1, IPC: 1, WavefrontSize: 1, BandwidthGBs: 1},
+		{Name: "bad-mem", Cores: 1, ClockGHz: 1, IPC: 1, WavefrontSize: 1, BandwidthGBs: 1, RandHitNS: 5, RandMissNS: 1},
+	}
+	for _, p := range cases {
+		if p.Validate() == nil {
+			t.Errorf("%s: expected validation error", p.Name)
+		}
+	}
+}
+
+func TestComputeTimeScalesWithInstructions(t *testing.T) {
+	d := New(APUCPU())
+	a := Acct{Items: 1000, Instr: 100000}
+	b := Acct{Items: 1000, Instr: 200000}
+	ta := d.Time(a, UniformEnv(1)).ComputeNS
+	tb := d.Time(b, UniformEnv(1)).ComputeNS
+	if tb <= ta {
+		t.Fatalf("more instructions not slower: %v vs %v", ta, tb)
+	}
+}
+
+func TestGPUFasterOnPureCompute(t *testing.T) {
+	cpu := New(APUCPU())
+	gpu := New(APUGPU())
+	a := Acct{Items: 1 << 20, Instr: 40 << 20}
+	if gpu.TimeNS(a, UniformEnv(1)) >= cpu.TimeNS(a, UniformEnv(1)) {
+		t.Fatal("GPU should beat CPU on massively parallel pure compute")
+	}
+}
+
+func TestCacheMissesCostMore(t *testing.T) {
+	for _, p := range []Profile{APUCPU(), APUGPU()} {
+		d := New(p)
+		var a Acct
+		a.Items = 1000
+		a.Rand[RegionHashTable] = 100000
+		hit := d.Time(a, UniformEnv(1)).MemoryNS
+		miss := d.Time(a, UniformEnv(0)).MemoryNS
+		if miss <= hit {
+			t.Errorf("%s: misses not slower than hits", p.Name)
+		}
+	}
+}
+
+func TestDivergenceSlowsGPUOnly(t *testing.T) {
+	cpu := New(APUCPU())
+	gpu := New(APUGPU())
+	var a Acct
+	a.Items = 64000
+	a.Instr = 64000 * 50
+	a.DivWork = 64000
+	a.DivMaxWork = 64000 * 4 // factor 4
+	var b Acct
+	b.Items = a.Items
+	b.Instr = a.Instr
+
+	if gpu.TimeNS(a, UniformEnv(1)) <= gpu.TimeNS(b, UniformEnv(1)) {
+		t.Fatal("divergence should slow the GPU")
+	}
+	if cpu.TimeNS(a, UniformEnv(1)) != cpu.TimeNS(b, UniformEnv(1)) {
+		t.Fatal("divergence must not affect the CPU (wavefront size 1)")
+	}
+}
+
+func TestAtomicSerializationOnFewTargets(t *testing.T) {
+	gpu := New(APUGPU())
+	few := Acct{Items: 1, AtomicOps: 1 << 20, AtomicTargets: 2}
+	many := Acct{Items: 1, AtomicOps: 1 << 20, AtomicTargets: 1 << 20}
+	if gpu.TimeNS(few, UniformEnv(1)) <= gpu.TimeNS(many, UniformEnv(1)) {
+		t.Fatal("contended atomics should cost more than spread atomics")
+	}
+}
+
+func TestAllocAtomicsSerialize(t *testing.T) {
+	gpu := New(APUGPU())
+	a := Acct{Items: 1, AllocAtomics: 1000}
+	got := gpu.Time(a, UniformEnv(1)).AtomicNS
+	want := 1000 * gpu.AtomicSerNS
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("alloc atomics time %v, want %v", got, want)
+	}
+}
+
+func TestEmptyAcctZeroTime(t *testing.T) {
+	d := New(APUCPU())
+	if tt := d.TimeNS(Acct{}, UniformEnv(1)); tt != 0 {
+		t.Fatalf("empty account costs %v ns", tt)
+	}
+}
+
+func TestAcctAddIsComponentwise(t *testing.T) {
+	f := func(i1, i2, r1, r2, at1, at2 int64) bool {
+		a := Acct{Items: abs64(i1), Instr: abs64(i2), AtomicOps: abs64(at1)}
+		a.Rand[RegionInput] = abs64(r1)
+		b := Acct{Items: abs64(i2), Instr: abs64(i1), AtomicOps: abs64(at2)}
+		b.Rand[RegionInput] = abs64(r2)
+		sum := a
+		sum.Add(b)
+		return sum.Items == a.Items+b.Items &&
+			sum.Instr == a.Instr+b.Instr &&
+			sum.Rand[RegionInput] == a.Rand[RegionInput]+b.Rand[RegionInput] &&
+			sum.AtomicOps == a.AtomicOps+b.AtomicOps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == math.MinInt64 {
+			return math.MaxInt64
+		}
+		return -x
+	}
+	return x
+}
+
+func TestDivTrackerUniformWorkNoDivergence(t *testing.T) {
+	tr := NewDivTracker(64)
+	for i := 0; i < 640; i++ {
+		tr.Item(3)
+	}
+	var a Acct
+	tr.Flush(&a)
+	if f := a.DivergenceFactor(); f != 1 {
+		t.Fatalf("uniform work divergence factor %v, want 1", f)
+	}
+}
+
+func TestDivTrackerSkewedWorkDiverges(t *testing.T) {
+	tr := NewDivTracker(64)
+	for i := 0; i < 640; i++ {
+		w := int32(1)
+		if i%64 == 0 {
+			w = 100 // one slow lane per wavefront
+		}
+		tr.Item(w)
+	}
+	var a Acct
+	tr.Flush(&a)
+	if f := a.DivergenceFactor(); f < 10 {
+		t.Fatalf("expected heavy divergence, got factor %v", f)
+	}
+}
+
+func TestDivTrackerGroupingReducesFactor(t *testing.T) {
+	// Same multiset of work, sorted vs interleaved: sorted must diverge
+	// less — the premise of the grouping optimization.
+	mixed := NewDivTracker(64)
+	sorted := NewDivTracker(64)
+	for i := 0; i < 6400; i++ {
+		w := int32(1 + (i%2)*9) // alternating 1 and 10
+		mixed.Item(w)
+	}
+	for i := 0; i < 3200; i++ {
+		sorted.Item(1)
+	}
+	for i := 0; i < 3200; i++ {
+		sorted.Item(10)
+	}
+	var am, as Acct
+	mixed.Flush(&am)
+	sorted.Flush(&as)
+	if as.DivergenceFactor() >= am.DivergenceFactor() {
+		t.Fatalf("sorted order should reduce divergence: sorted %v vs mixed %v",
+			as.DivergenceFactor(), am.DivergenceFactor())
+	}
+}
+
+func TestDivTrackerPartialWavefront(t *testing.T) {
+	tr := NewDivTracker(64)
+	for i := 0; i < 10; i++ { // less than one wavefront
+		tr.Item(int32(i + 1))
+	}
+	var a Acct
+	tr.Flush(&a)
+	if a.DivWork != 55 {
+		t.Fatalf("DivWork %d, want 55", a.DivWork)
+	}
+	if a.DivMaxWork != 100 { // max 10 × 10 items in the partial wavefront
+		t.Fatalf("DivMaxWork %d, want 100", a.DivMaxWork)
+	}
+}
+
+func TestWavefrontOneNeverDiverges(t *testing.T) {
+	tr := NewDivTracker(1)
+	tr.Item(1)
+	tr.Item(1000)
+	var a Acct
+	tr.Flush(&a)
+	if f := a.DivergenceFactor(); f != 1 {
+		t.Fatalf("wavefront size 1 diverged: %v", f)
+	}
+}

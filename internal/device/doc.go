@@ -1,0 +1,28 @@
+// Package device models the two compute devices of a coupled CPU-GPU chip
+// (and, for reference, a discrete GPU) in the OpenCL abstraction the paper
+// programs against.
+//
+// The paper runs OpenCL 1.2 kernels on an AMD APU A8-3870K. This
+// reproduction has no GPU, so the devices are simulated: kernels are real
+// Go functions that perform the actual join work over tuple batches, and
+// each batch execution reports an accounting record (Acct) of instructions
+// executed, memory accesses by class and region, atomic operations and the
+// per-item workload distribution. A Device converts an Acct into simulated
+// elapsed nanoseconds using its hardware profile:
+//
+//	compute = instructions / (cores × clock × IPC) × divergence
+//	memory  = seqBytes / bandwidth + Σ randAccesses × amortizedCost(hitRatio) × divergence(GPU)
+//	atomics = max(throughput-limited, serialization-limited on hottest target)
+//
+// Divergence captures SIMD lockstep semantics: AMD executes 64 work items
+// per wavefront and a wavefront runs as long as its slowest item, so the
+// factor is Σ_wavefront(64 × max item work) / Σ item work computed from the
+// actual per-item workloads in execution order. This is why the
+// workload-divergence grouping optimization (paper Sec. 3.3) helps: it
+// reorders items so wavefronts are homogeneous.
+//
+// The amortized memory costs per device are calibration constants in the
+// same spirit as the paper's use of the Manegold/He calibration method:
+// they represent the achievable per-access cost including the device's
+// memory-level parallelism.
+package device

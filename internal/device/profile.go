@@ -1,0 +1,144 @@
+package device
+
+import "fmt"
+
+// Kind distinguishes the two processor types of the coupled chip.
+type Kind int
+
+const (
+	// CPU is a latency-optimized multi-core processor (MIMD).
+	CPU Kind = iota
+	// GPU is a throughput-optimized processor executing wavefronts in
+	// SIMD lockstep.
+	GPU
+)
+
+// String returns "CPU" or "GPU".
+func (k Kind) String() string {
+	if k == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Profile holds the hardware parameters of one compute device.
+//
+// Compute parameters come straight from the paper's Table 1 for the AMD
+// A8-3870K; the memory and atomic cost constants are calibration values in
+// the style of the Manegold/He calibration method, chosen so that the
+// per-step unit costs reproduce the shape of the paper's Figure 4
+// (GPU ≥15× faster on hash computation, near-parity on pointer chasing,
+// CPU ahead on latch-heavy and branch-divergent steps).
+type Profile struct {
+	Name          string
+	Kind          Kind
+	Cores         int     // concurrent hardware lanes (CPU cores / GPU PEs)
+	ClockGHz      float64 // core clock
+	IPC           float64 // peak instructions per cycle per lane
+	WavefrontSize int     // SIMD width (1 on the CPU, 64 on AMD GPUs)
+
+	// Memory system (amortized per-access costs at full device occupancy).
+	RandHitNS     float64 // random access, cache hit
+	RandMissNS    float64 // random access, cache miss (to shared DRAM)
+	BandwidthGBs  float64 // sequential streaming bandwidth
+	LocalNS       float64 // local (work-group) memory op
+	AtomicNS      float64 // uncontended atomic op, amortized
+	AtomicSerNS   float64 // serialized atomic on a contended location
+	LaunchNS      float64 // fixed kernel launch overhead per step invocation
+	PerItemInstr  int64   // fixed bookkeeping instructions per work item
+	BranchMissNS  float64 // CPU branch-misprediction penalty per irregular item
+	ZeroCopyShare bool    // device reads the shared zero-copy buffer directly
+}
+
+// Validate reports obviously inconsistent profile parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Cores <= 0:
+		return fmt.Errorf("device: %s: cores must be positive, got %d", p.Name, p.Cores)
+	case p.ClockGHz <= 0:
+		return fmt.Errorf("device: %s: clock must be positive, got %v", p.Name, p.ClockGHz)
+	case p.IPC <= 0:
+		return fmt.Errorf("device: %s: IPC must be positive, got %v", p.Name, p.IPC)
+	case p.WavefrontSize < 1:
+		return fmt.Errorf("device: %s: wavefront size must be ≥1, got %d", p.Name, p.WavefrontSize)
+	case p.BandwidthGBs <= 0:
+		return fmt.Errorf("device: %s: bandwidth must be positive, got %v", p.Name, p.BandwidthGBs)
+	case p.RandHitNS < 0 || p.RandMissNS < p.RandHitNS:
+		return fmt.Errorf("device: %s: inconsistent random access costs hit=%v miss=%v", p.Name, p.RandHitNS, p.RandMissNS)
+	}
+	return nil
+}
+
+// InstrThroughput returns aggregate instructions per nanosecond.
+func (p Profile) InstrThroughput() float64 {
+	return float64(p.Cores) * p.ClockGHz * p.IPC
+}
+
+// APUCPU returns the profile of the CPU device of the AMD A8-3870K
+// (4 cores, 3.0 GHz) used in the paper.
+func APUCPU() Profile {
+	return Profile{
+		Name:          "A8-3870K CPU",
+		Kind:          CPU,
+		Cores:         4,
+		ClockGHz:      3.0,
+		IPC:           0.8, // OpenCL-compiled scalar code sustains well below peak
+		WavefrontSize: 1,
+		RandHitNS:     0.9,  // L2 hit amortized over 4 cores with MLP
+		RandMissNS:    3.6,  // DRAM miss amortized over 4 cores with MLP
+		BandwidthGBs:  9.0,  // share of the dual-channel DDR3 controller
+		LocalNS:       0.15, // L1-resident scratch
+		AtomicNS:      4.0,
+		AtomicSerNS:   18.0, // locked RMW round trip on a hot line
+		LaunchNS:      4000,
+		PerItemInstr:  18, // loop bookkeeping, address math per tuple
+		BranchMissNS:  0.0,
+		ZeroCopyShare: true,
+	}
+}
+
+// APUGPU returns the profile of the integrated GPU device of the AMD
+// A8-3870K (400 PEs, 0.6 GHz, 64-wide wavefronts).
+func APUGPU() Profile {
+	return Profile{
+		Name:          "A8-3870K GPU",
+		Kind:          GPU,
+		Cores:         400,
+		ClockGHz:      0.6,
+		IPC:           1.0,
+		WavefrontSize: 64,
+		RandHitNS:     0.8, // massive TLP hides latency at full occupancy
+		RandMissNS:    2.2,
+		BandwidthGBs:  26.0, // the Radeon memory path streams far faster
+		LocalNS:       0.05, // LDS
+		AtomicNS:      6.0,
+		AtomicSerNS:   60.0, // global-memory atomic round trip
+		LaunchNS:      15000,
+		PerItemInstr:  16, // wavefront-amortized bookkeeping per item
+		BranchMissNS:  0.0,
+		ZeroCopyShare: true,
+	}
+}
+
+// DiscreteGPU returns the profile of the AMD Radeon HD 7970 the paper lists
+// in Table 1 for reference (2048 cores, 0.9 GHz). It is used only by the
+// Table 1 experiment and the discrete-architecture discussion.
+func DiscreteGPU() Profile {
+	return Profile{
+		Name:          "Radeon HD 7970",
+		Kind:          GPU,
+		Cores:         2048,
+		ClockGHz:      0.9,
+		IPC:           1.0,
+		WavefrontSize: 64,
+		RandHitNS:     0.25,
+		RandMissNS:    1.2,
+		BandwidthGBs:  240.0, // GDDR5 device memory
+		LocalNS:       0.04,
+		AtomicNS:      3.0,
+		AtomicSerNS:   40.0,
+		LaunchNS:      15000,
+		PerItemInstr:  26,
+		ZeroCopyShare: false,
+	}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+)
+
+// Ablation drivers for the design choices DESIGN.md Sec. 5 calls out
+// beyond the paper's own figures: the δ granularity of the ratio search,
+// the divergence-grouping optimization, the radix pass-planning budget and
+// the pilot sample size. Each isolates one knob with everything else at
+// the tuned defaults.
+
+func init() {
+	register("abl-delta", AblationDelta)
+	register("abl-grouping", AblationGrouping)
+	register("abl-radix", AblationRadix)
+	register("abl-pilot", AblationPilot)
+}
+
+// AblationDelta sweeps the ratio-grid granularity δ: finer grids find
+// better ratios but cost more optimizer time. The paper fixes δ=0.02 "as a
+// tradeoff between the effectiveness and the execution time of
+// optimizations"; this driver shows the tradeoff explicitly.
+func AblationDelta(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "abl-delta", Title: "Ratio-grid granularity δ vs SHJ-PL quality",
+		Note:   "paper fixes δ=0.02; coarser grids trade join time for optimizer time",
+		Header: []string{"δ", "join time (ms)", "build ratios"}}
+
+	deltas := []float64{0.5, 0.25, 0.1, 0.05, 0.02}
+	if cfg.Quick {
+		deltas = []float64{0.5, 0.1, 0.02}
+	}
+	for _, d := range deltas {
+		opt := baseOptions(cfg, core.SHJ, core.PL)
+		opt.Delta = d
+		res, err := core.Run(r, s, opt)
+		if err != nil {
+			return nil, fmt.Errorf("abl-delta %v: %w", d, err)
+		}
+		t.AddRow(fmt.Sprintf("%.2f", d), ms(res.TotalNS), fmt.Sprintf("%.2v", res.Ratios.Build))
+	}
+	return t, nil
+}
+
+// AblationGrouping toggles the workload-divergence grouping optimization
+// across data distributions (paper Sec. 5.4: 5-10% end-to-end, larger on
+// the GPU).
+func AblationGrouping(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+
+	t := &Table{ID: "abl-grouping", Title: "Workload-divergence grouping on/off (SHJ-PL, ms)",
+		Header: []string{"dataset", "groups", "off", "on", "gain"}}
+
+	groupCounts := []int{8, 32, 128}
+	if cfg.Quick {
+		groupCounts = []int{32}
+	}
+	for _, dist := range []rel.Distribution{rel.Uniform, rel.HighSkew} {
+		r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, dist, 1.0)
+		for _, g := range groupCounts {
+			var times [2]float64
+			for i, on := range []bool{false, true} {
+				opt := baseOptions(cfg, core.SHJ, core.PL)
+				opt.Grouping = on
+				opt.Groups = g
+				res, err := core.Run(r, s, opt)
+				if err != nil {
+					return nil, fmt.Errorf("abl-grouping: %w", err)
+				}
+				times[i] = res.TotalNS
+			}
+			gain := "-"
+			if times[0] > 0 {
+				gain = fmt.Sprintf("%.0f%%", 100*(times[0]-times[1])/times[0])
+			}
+			t.AddRow(dist.String(), fmt.Sprint(g), ms(times[0]), ms(times[1]), gain)
+		}
+	}
+	return t, nil
+}
+
+// AblationRadix sweeps the radix pass planner's partition-pair cache
+// budget, trading partition-phase work against build/probe cache locality.
+func AblationRadix(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "abl-radix", Title: "Radix pass-planning budget (PHJ-PL, ms)",
+		Header: []string{"target bytes", "partition", "build+probe", "total"}}
+
+	budgets := []int64{mem.DefaultL2Bytes / 32, mem.DefaultL2Bytes / 8, mem.DefaultL2Bytes / 2, mem.DefaultL2Bytes * 2}
+	if cfg.Quick {
+		budgets = []int64{mem.DefaultL2Bytes / 8, mem.DefaultL2Bytes * 2}
+	}
+	for _, b := range budgets {
+		opt := baseOptions(cfg, core.PHJ, core.PL)
+		opt.RadixTargetBytes = b
+		res, err := core.Run(r, s, opt)
+		if err != nil {
+			return nil, fmt.Errorf("abl-radix %d: %w", b, err)
+		}
+		t.AddRow(fmt.Sprintf("%dK", b>>10),
+			ms(res.PartitionNS), ms(res.BuildNS+res.ProbeNS), ms(res.TotalNS))
+	}
+	return t, nil
+}
+
+// AblationPilot sweeps the profiling sample size: tiny pilots misestimate
+// the workload-dependent steps and degrade the chosen ratios.
+func AblationPilot(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "abl-pilot", Title: "Profiling pilot sample size vs SHJ-PL quality",
+		Header: []string{"pilot tuples", "join time (ms)", "estimate (ms)"}}
+
+	pilots := []int{1 << 8, 1 << 11, 1 << 14, 1 << 16}
+	if cfg.Quick {
+		pilots = []int{1 << 10, 1 << 14}
+	}
+	for _, p := range pilots {
+		opt := baseOptions(cfg, core.SHJ, core.PL)
+		opt.PilotItems = p
+		res, err := core.Run(r, s, opt)
+		if err != nil {
+			return nil, fmt.Errorf("abl-pilot %d: %w", p, err)
+		}
+		t.AddRow(fmt.Sprint(p), ms(res.TotalNS), ms(res.EstimatedNS))
+	}
+	return t, nil
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/device"
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+)
+
+func init() {
+	register("fig16", Fig16)
+	register("fig17", Fig17)
+	register("fig18", Fig18)
+	register("fig19", Fig19)
+	register("fig20", Fig20)
+}
+
+// Fig16 compares the coarse-grained BasicUnit scheduler with the
+// fine-grained DD and PL schemes (paper: PL is 31% / 25% faster than
+// BasicUnit for SHJ / PHJ).
+func Fig16(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig16", Title: "BasicUnit vs fine-grained co-processing (ms)",
+		Header: []string{"variant", "elapsed"}}
+
+	for _, algo := range []core.Algo{core.SHJ, core.PHJ} {
+		for _, scheme := range []core.Scheme{core.BasicUnit, core.DD, core.PL} {
+			res, err := core.Run(r, s, baseOptions(cfg, algo, scheme))
+			if err != nil {
+				return nil, fmt.Errorf("fig16 %v %v: %w", algo, scheme, err)
+			}
+			name := fmt.Sprintf("%s-%s", algo, scheme)
+			if scheme == core.BasicUnit {
+				name = fmt.Sprintf("BasicUnit (%s)", algo)
+			}
+			t.AddRow(name, ms(res.TotalNS))
+		}
+	}
+	return t, nil
+}
+
+// Fig17 reports the per-phase CPU/GPU workload shares BasicUnit settles on
+// for SHJ.
+func Fig17(cfg Config) (*Table, error) {
+	return basicUnitShares(cfg, core.SHJ, "fig17", []string{"build", "probe"})
+}
+
+// Fig18 is Fig17 for PHJ (partition, build, probe).
+func Fig18(cfg Config) (*Table, error) {
+	return basicUnitShares(cfg, core.PHJ, "fig18", []string{"partition", "build", "probe"})
+}
+
+func basicUnitShares(cfg Config, algo core.Algo, id string, phases []string) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+	res, err := core.Run(r, s, baseOptions(cfg, algo, core.BasicUnit))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	t := &Table{ID: id, Title: fmt.Sprintf("Workload ratios of different steps for %s employing BasicUnit", algo),
+		Note:   "paper: whole phases share one ratio — the deficiency vs per-step PL ratios",
+		Header: []string{"phase", "CPU", "GPU"}}
+	for i, ph := range phases {
+		if i >= len(res.BasicUnitShares) {
+			break
+		}
+		cpu := res.BasicUnitShares[i]
+		t.AddRow(ph, pct(cpu), pct(1-cpu))
+	}
+	return t, nil
+}
+
+// Fig19 joins datasets larger than the zero-copy buffer: |R| = |S| scales
+// 1x..8x of the buffer-filling size, comparing SHJ-PL and PHJ-PL as the
+// per-pair join.
+func Fig19(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+
+	t := &Table{ID: "fig19", Title: "Joins larger than the zero-copy buffer (|R|=|S|, ms)",
+		Note:   "paper: partition+copy appear beyond the 16M boundary; both grow linearly; PHJ-PL up to 9% faster",
+		Header: []string{"tuples", "variant", "partition", "join", "data copy", "total"}}
+
+	// Scale the buffer so cfg.Tuples plays the paper's 16M role.
+	capacity := int64(cfg.Tuples) * 32
+	scales := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		scales = []int{1, 2}
+	}
+	for _, sc := range scales {
+		n := cfg.Tuples * sc
+		r, s := dataset(cfg, n, n, 0, 1.0)
+		for _, algo := range []core.Algo{core.SHJ, core.PHJ} {
+			opt := baseOptions(cfg, algo, core.PL)
+			opt.ZeroCopy = mem.NewZeroCopy()
+			opt.ZeroCopy.Capacity = capacity
+			name := fmt.Sprintf("%s-PL", algo)
+			if sc == 1 {
+				res, err := core.Run(r, s, opt)
+				if err != nil {
+					return nil, fmt.Errorf("fig19 %dx %s: %w", sc, name, err)
+				}
+				t.AddRow(sizeName(n), name, "0.00", ms(res.TotalNS), "0.00", ms(res.TotalNS))
+				continue
+			}
+			res, err := core.RunExternal(r, s, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig19 %dx %s: %w", sc, name, err)
+			}
+			t.AddRow(sizeName(n), name, ms(res.PartitionNS), ms(res.JoinNS), ms(res.DataCopyNS), ms(res.TotalNS))
+		}
+	}
+	return t, nil
+}
+
+// Fig20 is the latch microbenchmark: X atomic increments spread over an
+// array of N integers under the three data distributions, on each device.
+// Skew concentrates increments on one hot element, trading latch contention
+// against cache locality — the effect the paper uses to explain why
+// high-skew joins can be as fast as uniform ones.
+func Fig20(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+
+	t := &Table{ID: "fig20", Title: "Locking micro-benchmark: X increments over an N-integer array",
+		Note:   "paper: time falls as N grows (less contention) until the array outgrows the 4MB cache; skew adds contention but also locality",
+		Header: []string{"device", "N", "uniform", "low-skew", "high-skew"}}
+
+	x := int64(cfg.Tuples) // paper: X = 16M with Tuples=16M
+	cm := mem.NewCacheModel()
+	sizes := []int{1, 4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	if cfg.Quick {
+		sizes = []int{1, 256, 64 << 10, 4 << 20}
+	}
+
+	for _, prof := range []device.Profile{device.APUCPU(), device.APUGPU()} {
+		dev := device.New(prof)
+		for _, n := range sizes {
+			row := []string{prof.Kind.String(), sizeName(n)}
+			for _, dist := range []rel.Distribution{rel.Uniform, rel.LowSkew, rel.HighSkew} {
+				hot := x * int64(dist.SkewPercent()) / 100
+				rest := x - hot
+
+				// Cold part: increments spread over all N elements.
+				var a device.Acct
+				a.AtomicOps = rest
+				a.AtomicTargets = int64(n)
+				a.Rand[device.RegionHashTable] = rest
+				env := device.UniformEnv(cm.HitRatio(int64(n)*4, 0))
+				total := dev.TimeNS(a, env)
+
+				// Hot part: all on one element — fully contended but
+				// cache-resident.
+				if hot > 0 {
+					var h device.Acct
+					h.AtomicOps = hot
+					h.AtomicTargets = 1
+					h.Rand[device.RegionHashTable] = hot
+					total += dev.TimeNS(h, device.UniformEnv(0.99))
+				}
+				row = append(row, ms(total))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/device"
+	"apujoin/internal/sched"
+)
+
+func init() {
+	register("table1", Table1)
+	register("fig3", Fig3)
+	register("fig4", Fig4)
+	register("fig5", Fig5)
+	register("fig6", Fig6)
+}
+
+// Table1 prints the device configuration of the simulated A8-3870K and the
+// discrete Radeon HD 7970 reference (paper Table 1).
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{ID: "table1", Title: "Configuration of AMD Fusion A8-3870K (and discrete GPU reference)",
+		Header: []string{"", "CPU (APU)", "GPU (APU)", "GPU (Discrete)"}}
+	cpu, gpu, dis := device.APUCPU(), device.APUGPU(), device.DiscreteGPU()
+	t.AddRow("# Cores", fmt.Sprint(cpu.Cores), fmt.Sprint(gpu.Cores), fmt.Sprint(dis.Cores))
+	t.AddRow("Core frequency (GHz)", fmt.Sprint(cpu.ClockGHz), fmt.Sprint(gpu.ClockGHz), fmt.Sprint(dis.ClockGHz))
+	t.AddRow("Zero copy buffer (MB)", "512 (shared)", "", "-")
+	t.AddRow("Local memory size (KB)", "32", "32", "32")
+	t.AddRow("Cache size (MB)", "4 (shared)", "", "-")
+	return t, nil
+}
+
+// Fig3 reproduces the time breakdown of DD and OL co-processing on the
+// emulated discrete architecture versus the coupled architecture.
+func Fig3(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig3", Title: "Time breakdown on discrete and coupled architectures (ms)",
+		Note:   "paper: PCI-e transfer 4-10% of discrete time, merge 14-18% for DD; both vanish on coupled",
+		Header: []string{"variant", "arch", "data-transfer", "merge", "partition", "build", "probe", "total"}}
+
+	type vc struct {
+		algo   core.Algo
+		scheme core.Scheme
+		name   string
+	}
+	for _, v := range []vc{
+		{core.SHJ, core.DD, "SHJ-DD"}, {core.SHJ, core.OL, "SHJ-OL"},
+		{core.PHJ, core.DD, "PHJ-DD"}, {core.PHJ, core.OL, "PHJ-OL"},
+	} {
+		for _, arch := range []core.Arch{core.Discrete, core.Coupled} {
+			opt := baseOptions(cfg, v.algo, v.scheme)
+			opt.Arch = arch
+			res, err := core.Run(r, s, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %v: %w", v.name, arch, err)
+			}
+			t.AddRow(v.name, arch.String(),
+				ms(res.TransferNS), ms(res.MergeNS), ms(res.PartitionNS),
+				ms(res.BuildNS), ms(res.ProbeNS), ms(res.TotalNS))
+		}
+	}
+	return t, nil
+}
+
+// Fig4 reproduces the per-step unit costs of PHJ on the CPU and the GPU:
+// each step series is executed once CPU-only and once GPU-only, and the
+// per-tuple time is reported.
+func Fig4(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig4", Title: "Unit costs per step on the CPU and the GPU for PHJ (ns/tuple)",
+		Note:   "paper: GPU >15x faster on hash steps (n1,b1,p1); near parity on list walks (b3,p3)",
+		Header: []string{"step", "CPU", "GPU", "CPU/GPU"}}
+
+	unit := map[sched.StepID][2]float64{}
+	for _, scheme := range []core.Scheme{core.CPUOnly, core.GPUOnly} {
+		opt := baseOptions(cfg, core.PHJ, scheme)
+		res, err := core.Run(r, s, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %v: %w", scheme, err)
+		}
+		seen := map[sched.StepID]bool{}
+		for _, st := range res.Steps {
+			if seen[st.ID] {
+				continue // first partition pass only
+			}
+			seen[st.ID] = true
+			u := unit[st.ID]
+			if scheme == core.CPUOnly {
+				u[0] = st.CPUNS / float64(st.Items)
+			} else {
+				u[1] = st.GPUNS / float64(st.Items)
+			}
+			unit[st.ID] = u
+		}
+	}
+	for id := sched.N1; id <= sched.P4; id++ {
+		u, ok := unit[id]
+		if !ok {
+			continue
+		}
+		ratio := "-"
+		if u[1] > 0 {
+			ratio = fmt.Sprintf("%.1fx", u[0]/u[1])
+		}
+		t.AddRow(id.String(), fmt.Sprintf("%.2f", u[0]), fmt.Sprintf("%.2f", u[1]), ratio)
+	}
+	return t, nil
+}
+
+// Fig5 reports the optimal per-step workload ratios of SHJ-PL.
+func Fig5(cfg Config) (*Table, error) {
+	return plRatios(cfg, core.SHJ, "fig5", "Optimal workload ratios of different steps for SHJ-PL")
+}
+
+// Fig6 reports the optimal per-step workload ratios of PHJ-PL.
+func Fig6(cfg Config) (*Table, error) {
+	return plRatios(cfg, core.PHJ, "fig6", "Optimal workload ratios of different steps for PHJ-PL")
+}
+
+func plRatios(cfg Config, algo core.Algo, id, title string) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+	opt := baseOptions(cfg, algo, core.PL)
+	res, err := core.Run(r, s, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	t := &Table{ID: id, Title: title + " (CPU share per step)",
+		Note:   "paper: hash steps (n1,b1,p1) go almost entirely to the GPU; list walks split toward the CPU",
+		Header: []string{"phase", "step", "CPU", "GPU"}}
+	add := func(phase string, ids []string, ratios sched.Ratios) {
+		for i, r := range ratios {
+			t.AddRow(phase, ids[i], pct(r), pct(1-r))
+		}
+	}
+	if algo == core.PHJ && len(res.Ratios.Partition) > 0 {
+		add("partition", []string{"n1", "n2", "n3"}, res.Ratios.Partition[0])
+	}
+	add("build", []string{"b1", "b2", "b3", "b4"}, res.Ratios.Build)
+	add("probe", []string{"p1", "p2", "p3", "p4"}, res.Ratios.Probe)
+	return t, nil
+}

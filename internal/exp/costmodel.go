@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/sched"
+)
+
+func init() {
+	register("fig7", Fig7)
+	register("fig8", Fig8)
+	register("fig9", Fig9)
+}
+
+// Fig7 compares the cost model's estimate with the measured time for
+// SHJ-DD as the workload ratio sweeps 0–100% for the build and probe
+// phases.
+func Fig7(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig7", Title: "Estimated vs measured time for SHJ-DD with workload ratios varied (ms)",
+		Note:   "paper: estimates track measurements closely, slightly below (no lock contention in the model)",
+		Header: []string{"phase", "CPU ratio", "estimated", "measured"}}
+
+	step := 10
+	if cfg.Quick {
+		step = 25
+	}
+	for _, phase := range []string{"build", "probe"} {
+		for pctr := 0; pctr <= 100; pctr += step {
+			ratio := float64(pctr) / 100
+			opt := baseOptions(cfg, core.SHJ, core.DD)
+			if phase == "build" {
+				opt.FixedBuild = sched.Ratios{ratio}
+			} else {
+				opt.FixedProbe = sched.Ratios{ratio}
+			}
+			res, err := core.Run(r, s, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %d%%: %w", phase, pctr, err)
+			}
+			var est, meas float64
+			if phase == "build" {
+				est, meas = res.EstBuildNS, res.BuildNS
+			} else {
+				est, meas = res.EstProbeNS, res.ProbeNS
+			}
+			t.AddRow(phase, fmt.Sprintf("%d%%", pctr), ms(est), ms(meas))
+		}
+	}
+	return t, nil
+}
+
+// Fig8 evaluates the special PL case: b1 and p1 fully offloaded to the GPU
+// and a single data-dividing ratio r applied to all other steps.
+func Fig8(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig8", Title: "Special PL case (b1,p1 on GPU; ratio r elsewhere): estimated vs measured (ms)",
+		Header: []string{"phase", "r", "estimated", "measured"}}
+
+	step := 10
+	if cfg.Quick {
+		step = 25
+	}
+	for _, phase := range []string{"build", "probe"} {
+		for pctr := 0; pctr <= 100; pctr += step {
+			ratio := float64(pctr) / 100
+			opt := baseOptions(cfg, core.SHJ, core.PL)
+			build := sched.Ratios{0, 0.5, 0.5, 0.5}
+			probe := sched.Ratios{0, 0.5, 0.5, 0.5}
+			if phase == "build" {
+				build = sched.Ratios{0, ratio, ratio, ratio}
+			} else {
+				probe = sched.Ratios{0, ratio, ratio, ratio}
+			}
+			opt.FixedBuild = build
+			opt.FixedProbe = probe
+			res, err := core.Run(r, s, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s %d%%: %w", phase, pctr, err)
+			}
+			var est, meas float64
+			if phase == "build" {
+				est, meas = res.EstBuildNS, res.BuildNS
+			} else {
+				est, meas = res.EstProbeNS, res.ProbeNS
+			}
+			t.AddRow(phase, fmt.Sprintf("%d%%", pctr), ms(est), ms(meas))
+		}
+	}
+	return t, nil
+}
+
+// Fig9 runs the Monte Carlo simulations over random PL ratio settings and
+// reports the CDF of estimated times together with the model-chosen
+// configuration ("Ours").
+func Fig9(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+	r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, 1.0)
+
+	t := &Table{ID: "fig9", Title: "CDF of Monte Carlo simulations on PL workload ratios",
+		Note:   fmt.Sprintf("%d random ratio settings; paper: 'Ours' sits at the far left of the CDF", cfg.MonteCarloRuns),
+		Header: []string{"experiment", "percentile", "time (ms)"}}
+
+	type mc struct {
+		algo  core.Algo
+		phase string
+		name  string
+	}
+	for _, m := range []mc{{core.SHJ, "build", "SHJ-PL build"}, {core.PHJ, "probe", "PHJ-PL probe"}} {
+		opt := baseOptions(cfg, m.algo, core.PL)
+		samples, ours, err := core.MonteCarloPhase(r, s, opt, m.phase, cfg.MonteCarloRuns, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", m.name, err)
+		}
+		for _, p := range []int{0, 10, 25, 50, 75, 90, 100} {
+			idx := p * (len(samples) - 1) / 100
+			t.AddRow(m.name, fmt.Sprintf("p%d", p), ms(samples[idx]))
+		}
+		t.AddRow(m.name, "Ours", ms(ours))
+		// Position of Ours within the CDF.
+		rank := 0
+		for _, v := range samples {
+			if v < ours {
+				rank++
+			}
+		}
+		t.AddRow(m.name, "Ours beats", fmt.Sprintf("%.0f%% of random settings", 100*float64(len(samples)-rank)/float64(len(samples))))
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+func init() {
+	register("fig13", Fig13)
+	register("fig14", Fig14)
+	register("fig14low", Fig14Low)
+	register("fig15", Fig15)
+}
+
+// Fig13 sweeps the build relation size on the uniform dataset and compares
+// CPU-only against the DD, OL and PL variants of SHJ and PHJ.
+func Fig13(cfg Config) (*Table, error) {
+	return sizeSweep(cfg, rel.Uniform, "fig13", "Elapsed time comparison on the uniform data set")
+}
+
+// Fig14 is Fig13 on the high-skew dataset (s=25).
+func Fig14(cfg Config) (*Table, error) {
+	return sizeSweep(cfg, rel.HighSkew, "fig14", "Elapsed time comparison on the high-skew data set")
+}
+
+// Fig14Low is the low-skew (s=10) companion the paper describes in text.
+func Fig14Low(cfg Config) (*Table, error) {
+	return sizeSweep(cfg, rel.LowSkew, "fig14low", "Elapsed time comparison on the low-skew data set")
+}
+
+func sizeSweep(cfg Config, dist rel.Distribution, id, title string) (*Table, error) {
+	cfg.SetDefaults()
+	t := &Table{ID: id, Title: title + " (ms); probe relation fixed",
+		Note:   "paper: leap when the build table outgrows the 4MB shared L2; PL best, then DD, then GPU-only/OL, CPU-only worst",
+		Header: []string{"algo", "|R|", "CPU-only", "DD", "OL", "PL"}}
+
+	// Paper: S fixed at 16M, R from 64K to 16M. Scale: R from Tuples/256
+	// upward.
+	sizes := []int{cfg.Tuples / 256, cfg.Tuples / 64, cfg.Tuples / 16, cfg.Tuples / 4, cfg.Tuples}
+	if cfg.Quick {
+		sizes = []int{cfg.Tuples / 16, cfg.Tuples}
+	}
+
+	for _, algo := range []core.Algo{core.SHJ, core.PHJ} {
+		for _, nr := range sizes {
+			if nr < 1024 {
+				nr = 1024
+			}
+			r, s := dataset(cfg, nr, cfg.Tuples, dist, 1.0)
+			row := []string{algo.String(), sizeName(nr)}
+			for _, scheme := range []core.Scheme{core.CPUOnly, core.DD, core.OL, core.PL} {
+				res, err := core.Run(r, s, baseOptions(cfg, algo, scheme))
+				if err != nil {
+					return nil, fmt.Errorf("%s %v |R|=%d %v: %w", id, algo, nr, scheme, err)
+				}
+				row = append(row, ms(res.TotalNS))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+// Fig15 studies join selectivity (12.5%, 50%, 100%) for PHJ under DD, OL
+// and PL with the per-phase time breakdown.
+func Fig15(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+
+	t := &Table{ID: "fig15", Title: "PHJ with join selectivity varied (ms)",
+		Note:   "paper: selectivity affects mostly the probe phase, and only slightly (matching rid pairs are simply output)",
+		Header: []string{"selectivity", "scheme", "partition", "build", "probe", "total"}}
+
+	for _, sel := range []float64{0.125, 0.5, 1.0} {
+		r, s := dataset(cfg, cfg.Tuples, cfg.Tuples, 0, sel)
+		for _, scheme := range []core.Scheme{core.DD, core.OL, core.PL} {
+			res, err := core.Run(r, s, baseOptions(cfg, core.PHJ, scheme))
+			if err != nil {
+				return nil, fmt.Errorf("fig15 sel=%v %v: %w", sel, scheme, err)
+			}
+			t.AddRow(fmt.Sprintf("%.1f%%", sel*100), scheme.String(),
+				ms(res.PartitionNS), ms(res.BuildNS), ms(res.ProbeNS), ms(res.TotalNS))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Tuples: 1 << 16, MonteCarloRuns: 50, Delta: 0.1}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("missing %s", id)
+			}
+			tab, err := run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if testing.Verbose() {
+				tab.Fprint(os.Stderr)
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablePrintFormats(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Note: "n", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "n", "a", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := tab.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "experiment,a,b" || lines[1] != "x,1,2" {
+		t.Fatalf("csv content %v", lines)
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	if _, ok := Lookup("FIG3"); !ok {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table3",
+		"fig16", "fig17", "fig18", "fig19", "fig20",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("paper artifact %s has no experiment driver", id)
+		}
+	}
+}

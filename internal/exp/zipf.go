@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+func init() {
+	register("zipf", Zipf)
+}
+
+// Zipf is an extension experiment beyond the paper's s%-duplicate skew:
+// probe foreign keys drawn from a Zipf distribution (the other skew model
+// of Blanas et al.), sweeping the exponent θ. It checks that the
+// co-processing advantage and the grouping optimization survive
+// continuous skew, not just the single-heavy-key shape.
+func Zipf(cfg Config) (*Table, error) {
+	cfg.SetDefaults()
+
+	t := &Table{ID: "zipf", Title: "Zipf-skewed foreign keys (extension; ms)",
+		Note:   "θ=0 is uniform; θ=1 is heavy textbook skew",
+		Header: []string{"θ", "scheme", "matches", "total", "probe", "grouped total"}}
+
+	thetas := []float64{0, 0.5, 0.75, 1.0}
+	if cfg.Quick {
+		thetas = []float64{0, 1.0}
+	}
+	r := rel.Gen{N: cfg.Tuples, Seed: cfg.Seed}.Build()
+	for _, theta := range thetas {
+		s := rel.Gen{N: cfg.Tuples, Seed: cfg.Seed + 1}.ZipfProbe(r, theta)
+		for _, scheme := range []core.Scheme{core.DD, core.PL} {
+			opt := baseOptions(cfg, core.SHJ, scheme)
+			res, err := core.Run(r, s, opt)
+			if err != nil {
+				return nil, fmt.Errorf("zipf θ=%v %v: %w", theta, scheme, err)
+			}
+			gopt := opt
+			gopt.Grouping = true
+			gres, err := core.Run(r, s, gopt)
+			if err != nil {
+				return nil, fmt.Errorf("zipf grouped θ=%v %v: %w", theta, scheme, err)
+			}
+			t.AddRow(fmt.Sprintf("%.2f", theta), "SHJ-"+scheme.String(),
+				fmt.Sprint(res.Matches), ms(res.TotalNS), ms(res.ProbeNS), ms(gres.TotalNS))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package hash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestMurmur2MatchesByteVersion(t *testing.T) {
+	// The 4-byte specialization must agree with the generic byte-slice
+	// implementation for every 32-bit key.
+	f := func(key, seed uint32) bool {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], key)
+		return Murmur2(key, seed) == Murmur2Bytes(buf[:], seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMurmur2Deterministic(t *testing.T) {
+	if Murmur2(12345, Murmur2Seed) != Murmur2(12345, Murmur2Seed) {
+		t.Fatal("murmur2 not deterministic")
+	}
+}
+
+func TestMurmur2SeedSensitivity(t *testing.T) {
+	if Murmur2(1, 1) == Murmur2(1, 2) {
+		t.Fatal("different seeds produced identical hashes (suspicious)")
+	}
+}
+
+func TestMurmur2Bytes(t *testing.T) {
+	// Non-multiple-of-4 tails exercise the switch fallthroughs.
+	cases := [][]byte{{}, {1}, {1, 2}, {1, 2, 3}, {1, 2, 3, 4, 5}, []byte("hello, world")}
+	seen := map[uint32]bool{}
+	for _, c := range cases {
+		h := Murmur2Bytes(c, Murmur2Seed)
+		if seen[h] {
+			t.Fatalf("collision between trivial inputs at %v", c)
+		}
+		seen[h] = true
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	f := func(key uint32) bool {
+		b := Bucket(key, 1024)
+		return b >= 0 && b < 1024
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketDistribution(t *testing.T) {
+	// Sequential keys must spread roughly uniformly across buckets.
+	const n = 1 << 16
+	const buckets = 256
+	counts := make([]int, buckets)
+	for k := uint32(0); k < n; k++ {
+		counts[Bucket(k, buckets)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d count %d far from expected %d", b, c, want)
+		}
+	}
+}
+
+func TestRadixPassPartitionsAreHashPrefixConsistent(t *testing.T) {
+	// A two-pass split (low bits then high bits) must agree with a single
+	// pass over all bits.
+	f := func(key uint32) bool {
+		lo := RadixPass(key, 0, 4)
+		hi := RadixPass(key, 4, 4)
+		all := RadixPass(key, 0, 8)
+		return all == lo|hi<<4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixPassRange(t *testing.T) {
+	for _, bits := range []uint{1, 4, 8, 12} {
+		for k := uint32(0); k < 1000; k++ {
+			p := RadixPass(k, 0, bits)
+			if p < 0 || p >= 1<<bits {
+				t.Fatalf("bits=%d key=%d: partition %d out of range", bits, k, p)
+			}
+		}
+	}
+}
+
+func BenchmarkMurmur2(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += Murmur2(uint32(i), Murmur2Seed)
+	}
+	_ = sink
+}

@@ -1,0 +1,262 @@
+// Package htab implements the hash table used by the joins, with the exact
+// layout of the paper (Sec. 3.1): an array of bucket headers, each holding
+// the tuple count of the bucket and a pointer to a key list; each key-list
+// node holds one distinct key and links a rid list with the record IDs of
+// every build tuple carrying that key.
+//
+// Nodes live in an alloc.Arena and are addressed by int32 offsets rather
+// than Go pointers, mirroring the OpenCL implementation where all dynamic
+// structures are indices into a pre-allocated zero-copy buffer.
+//
+// The build and probe phases are decomposed into the paper's fine-grained
+// per-tuple steps:
+//
+//	build: (b1) compute hash bucket number, (b2) visit the bucket header,
+//	       (b3) visit the key list, creating a key node if necessary,
+//	       (b4) insert the record id into the rid list.
+//	probe: (p1) compute hash bucket number, (p2) visit the bucket header,
+//	       (p3) visit the key list, (p4) visit matching build tuples and
+//	       produce output tuples.
+//
+// Every step kernel does the real work on a batch [lo,hi) of tuples while
+// filling a device accounting record; the co-processing schedulers split
+// batches between the CPU and GPU devices and the device model converts the
+// accounts into simulated time.
+package htab
+
+import (
+	"fmt"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+)
+
+// Node layouts inside the arena (int32 words).
+const (
+	keyNodeWords = 3 // [key, ridHead, next]
+	ridNodeWords = 2 // [rid, next]
+
+	keyOffKey     = 0
+	keyOffRIDHead = 1
+	keyOffNext    = 2
+
+	ridOffRID  = 0
+	ridOffNext = 1
+)
+
+// nilRef marks an empty list head.
+const nilRef = int32(-1)
+
+// Profiled per-step instruction constants (per tuple / per list node).
+// They play the role of the AMD profiler numbers the paper feeds into its
+// cost model; the cost package re-derives them by probing the kernels.
+const (
+	instrVisitHeader = 6
+	instrListNode    = 8
+	instrCreateNode  = 14
+	instrInsertRID   = 10
+	instrEmitMatch   = 12
+)
+
+// Table is the paper's hash table.
+type Table struct {
+	nBuckets int
+	mask     uint32
+	// Bucket headers, stored as two parallel arrays ("total number of
+	// tuples within that bucket and the pointer to a key list").
+	Count []int32
+	Head  []int32
+
+	arena   *alloc.Arena
+	numKeys int64 // distinct keys inserted (key nodes allocated)
+	// bucketsPerPart is the segment width of a segmented table (see
+	// NewSeg); 0 for a flat table. segShift skips the hash bits the radix
+	// partitioning consumed.
+	bucketsPerPart int
+	segShift       uint
+	partShift      uint
+}
+
+// New returns an empty table with nBuckets buckets (rounded up to a power
+// of two) whose nodes are allocated from arena.
+func New(nBuckets int, arena *alloc.Arena) *Table {
+	return NewShifted(nBuckets, 0, arena)
+}
+
+// NewShifted returns a flat table whose bucket function skips the low
+// hashShift hash bits. The external join (data larger than the zero-copy
+// buffer) pre-partitions on the low bits, so the per-pair joins must hash
+// with the bits above them or most buckets would stay empty.
+func NewShifted(nBuckets int, hashShift uint, arena *alloc.Arena) *Table {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	t := &Table{
+		nBuckets: n,
+		mask:     uint32(n - 1),
+		Count:    make([]int32, n),
+		Head:     make([]int32, n),
+		arena:    arena,
+	}
+	for i := range t.Head {
+		t.Head[i] = nilRef
+	}
+	t.segShift = hashShift
+	return t
+}
+
+// NBuckets returns the bucket count.
+func (t *Table) NBuckets() int { return t.nBuckets }
+
+// NumKeys returns the number of distinct keys inserted so far.
+func (t *Table) NumKeys() int64 { return t.numKeys }
+
+// Arena returns the backing arena (shared with the caller for accounting).
+func (t *Table) Arena() *alloc.Arena { return t.arena }
+
+// BytesResident estimates the bytes of the table touched by random accesses:
+// headers plus all allocated nodes. The cache model uses it as the
+// hash-table working set.
+func (t *Table) BytesResident() int64 {
+	headers := int64(t.nBuckets) * 8
+	nodes := int64(t.arena.Used()) * alloc.WordBytes
+	return headers + nodes
+}
+
+// Reset empties the table, retaining buckets. The arena is not reset
+// (several tables may share it); callers reset the arena between joins.
+func (t *Table) Reset() {
+	for i := range t.Head {
+		t.Head[i] = nilRef
+		t.Count[i] = 0
+	}
+	t.numKeys = 0
+}
+
+// Validate walks the whole structure checking invariants: bucket counts
+// equal the number of rids reachable in the bucket, key nodes hash to their
+// bucket, and no reference escapes the arena. It is O(table) and intended
+// for tests.
+func (t *Table) Validate() error {
+	words := t.arena.Words()
+	used := int32(t.arena.Used())
+	for b := 0; b < t.nBuckets; b++ {
+		var rids int32
+		for kn := t.Head[b]; kn != nilRef; kn = words[kn+keyOffNext] {
+			if kn < 0 || kn+keyNodeWords > used {
+				return fmt.Errorf("htab: bucket %d: key node ref %d out of arena [0,%d)", b, kn, used)
+			}
+			key := words[kn+keyOffKey]
+			if t.bucketsPerPart > 0 {
+				segMask := uint32(t.bucketsPerPart - 1)
+				want := (hashBucket(key, ^uint32(0)) >> t.segShift) & segMask
+				if uint32(b)&segMask != want {
+					return fmt.Errorf("htab: segmented bucket %d: key %d hashes to slot %d within segment",
+						b, key, want)
+				}
+			} else if int((hashBucket(key, ^uint32(0))>>t.segShift)&t.mask) != b {
+				return fmt.Errorf("htab: bucket %d: key %d hashes to %d", b, key,
+					(hashBucket(key, ^uint32(0))>>t.segShift)&t.mask)
+			}
+			for rn := words[kn+keyOffRIDHead]; rn != nilRef; rn = words[rn+ridOffNext] {
+				if rn < 0 || rn+ridNodeWords > used {
+					return fmt.Errorf("htab: bucket %d: rid node ref %d out of arena [0,%d)", b, rn, used)
+				}
+				rids++
+			}
+		}
+		if rids != t.Count[b] {
+			return fmt.Errorf("htab: bucket %d: header count %d but %d rids reachable", b, t.Count[b], rids)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the rids associated with key, for tests and spot checks.
+func (t *Table) Lookup(key int32) []int32 {
+	words := t.arena.Words()
+	b := t.bucketOf(key)
+	for kn := t.Head[b]; kn != nilRef; kn = words[kn+keyOffNext] {
+		if words[kn+keyOffKey] == key {
+			var out []int32
+			for rn := words[kn+keyOffRIDHead]; rn != nilRef; rn = words[rn+ridOffNext] {
+				out = append(out, words[rn+ridOffRID])
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Merge inserts every (key, rid) pair of src into t, the merge operation
+// required by separate hash tables (paper Sec. 5.2: the partial table built
+// on one device is merged into the other's). It returns an accounting
+// record covering the traversal and re-insertion work; the caller charges
+// it to the device performing the merge.
+func (t *Table) Merge(src *Table) device.Acct {
+	var a device.Acct
+	words := src.arena.Words()
+	for b := 0; b < src.nBuckets; b++ {
+		for kn := src.Head[b]; kn != nilRef; kn = words[kn+keyOffNext] {
+			key := words[kn+keyOffKey]
+			a.Rand[device.RegionHashTable]++
+			for rn := words[kn+keyOffRIDHead]; rn != nilRef; rn = words[rn+ridOffNext] {
+				rid := words[rn+ridOffRID]
+				ins := t.insertOne(key, rid)
+				a.Add(ins)
+				a.Items++
+			}
+		}
+	}
+	return a
+}
+
+// insertOne performs a full single-tuple insert (b1..b4 fused), used by
+// Merge and by tests.
+func (t *Table) insertOne(key, rid int32) device.Acct {
+	var a device.Acct
+	words := t.arena.Words()
+	b := t.bucketOf(key)
+	t.Count[b]++
+	a.Instr += instrVisitHeader
+	a.Rand[device.RegionHashTable]++
+	a.AtomicOps++
+
+	kn := t.Head[b]
+	for kn != nilRef && words[kn+keyOffKey] != key {
+		kn = words[kn+keyOffNext]
+		a.Instr += instrListNode
+		a.Rand[device.RegionHashTable]++
+	}
+	if kn == nilRef {
+		kn = t.newKeyNode(key, int(b))
+		words = t.arena.Words()
+		a.Instr += instrCreateNode
+		a.AtomicOps++
+	}
+	rn := t.arena.Alloc(ridNodeWords)
+	words = t.arena.Words()
+	words[rn+ridOffRID] = rid
+	words[rn+ridOffNext] = words[kn+keyOffRIDHead]
+	words[kn+keyOffRIDHead] = rn
+	a.Instr += instrInsertRID
+	a.Rand[device.RegionHashTable] += 2
+	a.AtomicOps++
+	if a.AtomicTargets == 0 {
+		a.AtomicTargets = int64(t.nBuckets)
+	}
+	return a
+}
+
+// newKeyNode allocates and links a key node at the head of bucket b.
+func (t *Table) newKeyNode(key int32, b int) int32 {
+	kn := t.arena.Alloc(keyNodeWords)
+	words := t.arena.Words()
+	words[kn+keyOffKey] = key
+	words[kn+keyOffRIDHead] = nilRef
+	words[kn+keyOffNext] = t.Head[b]
+	t.Head[b] = kn
+	t.numKeys++
+	return kn
+}

@@ -1,0 +1,184 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+	"apujoin/internal/hash"
+	"apujoin/internal/rel"
+)
+
+func TestPlanFor(t *testing.T) {
+	// Small inputs still get the minimum fan-out.
+	p := PlanFor(1000, 1<<20)
+	if p.TotalBits() != 6 {
+		t.Fatalf("small plan bits %d, want 6", p.TotalBits())
+	}
+	// Large inputs split across passes of ≤ MaxBitsPerPass.
+	p = PlanFor(1<<24, 64<<10) // 128MB / 64KB → 11 bits
+	if p.TotalBits() < 11 {
+		t.Fatalf("large plan bits %d, want ≥11", p.TotalBits())
+	}
+	for _, b := range p.BitsPerPass {
+		if b > MaxBitsPerPass {
+			t.Fatalf("pass with %d bits exceeds max %d", b, MaxBitsPerPass)
+		}
+	}
+	if p.Partitions() != 1<<p.TotalBits() {
+		t.Fatal("partitions/bits mismatch")
+	}
+}
+
+func TestPartitionHostGroupsByHash(t *testing.T) {
+	r := rel.Gen{N: 30000, Seed: 1}.Build()
+	plan := PlanFor(r.Len(), 16<<10)
+	res := PartitionHost(r, plan)
+
+	if res.Rel.Len() != r.Len() {
+		t.Fatalf("lost tuples: %d vs %d", res.Rel.Len(), r.Len())
+	}
+	total := plan.TotalBits()
+	// Every tuple must sit inside its partition's offset range.
+	for part := 0; part < plan.Partitions(); part++ {
+		for i := res.Offsets[part]; i < res.Offsets[part+1]; i++ {
+			got := hash.RadixPass(uint32(res.Rel.Keys[i]), 0, total)
+			if got != part {
+				t.Fatalf("tuple %d in partition %d but hashes to %d", i, part, got)
+			}
+		}
+	}
+}
+
+func TestPartitionPreservesMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rel.Gen{N: 2000, Seed: seed}.Build()
+		plan := PlanFor(r.Len(), 1<<10)
+		res := PartitionHost(r, plan)
+		// Key→rid pairs must be preserved exactly.
+		want := map[[2]int32]int{}
+		for i := range r.Keys {
+			want[[2]int32{r.Keys[i], r.RIDs[i]}]++
+		}
+		for i := range res.Rel.Keys {
+			want[[2]int32{res.Rel.Keys[i], res.Rel.RIDs[i]}]--
+		}
+		for _, c := range want {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPassEqualsSinglePassGrouping(t *testing.T) {
+	// Two passes of 4 bits and one pass of 8 bits must produce identical
+	// partition contents (the LSB-stability property).
+	r := rel.Gen{N: 20000, Seed: 2}.Build()
+	one := PartitionHost(r, Plan{BitsPerPass: []uint{8}})
+	two := PartitionHost(r, Plan{BitsPerPass: []uint{4, 4}})
+	if len(one.Offsets) != len(two.Offsets) {
+		t.Fatal("offset shapes differ")
+	}
+	for p := range one.Offsets {
+		if one.Offsets[p] != two.Offsets[p] {
+			t.Fatalf("partition %d boundary differs: %d vs %d", p, one.Offsets[p], two.Offsets[p])
+		}
+	}
+	// Same multiset within each partition.
+	for p := 0; p+1 < len(one.Offsets); p++ {
+		seen := map[int32]int{}
+		for i := one.Offsets[p]; i < one.Offsets[p+1]; i++ {
+			seen[one.Rel.Keys[i]]++
+			seen[two.Rel.Keys[i]]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				t.Fatalf("partition %d contents differ", p)
+			}
+		}
+	}
+}
+
+func TestPassStepsSplitAcrossDevices(t *testing.T) {
+	r := rel.Gen{N: 10000, Seed: 3}.Build()
+	arena := alloc.New(alloc.Config{}, r.Len()*3+1024)
+	pass := NewPass(r, arena, 0, 5)
+	cpu := device.New(device.APUCPU())
+	gpu := device.New(device.APUGPU())
+	n := r.Len()
+	split := n / 3
+	for _, step := range []func(d *device.Device, lo, hi int) device.Acct{pass.N1, pass.N2, pass.N3} {
+		step(cpu, 0, split)
+		step(gpu, split, n)
+	}
+	out := rel.Relation{Keys: make([]int32, n), RIDs: make([]int32, n)}
+	offs, _ := pass.Gather(out)
+	if int(offs[len(offs)-1]) != n {
+		t.Fatalf("gathered %d tuples, want %d", offs[len(offs)-1], n)
+	}
+	for p := 0; p+1 < len(offs); p++ {
+		for i := offs[p]; i < offs[p+1]; i++ {
+			if hash.RadixPass(uint32(out.Keys[i]), 0, 5) != p {
+				t.Fatalf("tuple %d misplaced", i)
+			}
+		}
+	}
+}
+
+func TestN2N3Accounting(t *testing.T) {
+	r := rel.Gen{N: 1000, Seed: 4}.Build()
+	arena := alloc.New(alloc.Config{}, 8192)
+	pass := NewPass(r, arena, 0, 6)
+	cpu := device.New(device.APUCPU())
+	pass.N1(cpu, 0, r.Len())
+	a2 := pass.N2(cpu, 0, r.Len())
+	if a2.AtomicOps != int64(r.Len()) || a2.AtomicTargets != 64 {
+		t.Fatalf("n2 accounting: %+v", a2)
+	}
+	a3 := pass.N3(cpu, 0, r.Len())
+	if a3.AllocAtomics == 0 {
+		t.Fatal("n3 chunk allocations not accounted")
+	}
+}
+
+func TestFinalOffsetsShifted(t *testing.T) {
+	// With a hash shift, partitions must group on the shifted bits.
+	r := rel.Gen{N: 5000, Seed: 5}.Build()
+	const shift = 3
+	arena := alloc.New(alloc.Config{}, r.Len()*3+1024)
+	pass := NewPass(r, arena, shift, 4)
+	cpu := device.New(device.APUCPU())
+	pass.N1(cpu, 0, r.Len())
+	pass.N2(cpu, 0, r.Len())
+	pass.N3(cpu, 0, r.Len())
+	out := rel.Relation{Keys: make([]int32, r.Len()), RIDs: make([]int32, r.Len())}
+	pass.Gather(out)
+	offs := FinalOffsetsShifted(out, Plan{BitsPerPass: []uint{4}}, shift)
+	for p := 0; p+1 < len(offs); p++ {
+		for i := offs[p]; i < offs[p+1]; i++ {
+			if hash.RadixPass(uint32(out.Keys[i]), shift, 4) != p {
+				t.Fatalf("shifted partition %d holds stranger at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestPartIdx(t *testing.T) {
+	r := rel.Gen{N: 3000, Seed: 6}.Build()
+	plan := PlanFor(r.Len(), 1<<10)
+	res := PartitionHost(r, plan)
+	idx := make([]int32, r.Len())
+	res.PartIdx(idx)
+	for i, k := range res.Rel.Keys {
+		want := hash.RadixPass(uint32(k), 0, plan.TotalBits())
+		if int(idx[i]) != want {
+			t.Fatalf("partIdx[%d]=%d, want %d", i, idx[i], want)
+		}
+	}
+}

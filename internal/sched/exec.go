@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"fmt"
+
+	"apujoin/internal/device"
+	"apujoin/internal/mem"
+)
+
+// Exec runs step series under a co-processing scheme on a pair of devices.
+type Exec struct {
+	CPU *device.Device
+	GPU *device.Device
+	Env EnvFor
+	// PCIe, when non-nil, emulates the discrete architecture: intermediate
+	// results moved between devices by ratio changes, and phase inputs and
+	// outputs, are charged bus transfers (paper Sec. 5.1).
+	PCIe *mem.PCIe
+}
+
+// New returns an executor over the coupled A8-3870K devices.
+func New(envFor EnvFor) *Exec {
+	return &Exec{
+		CPU: device.New(device.APUCPU()),
+		GPU: device.New(device.APUGPU()),
+		Env: envFor,
+	}
+}
+
+// Run executes the series with the given per-step CPU ratios (PL semantics;
+// pass Uniform(r, n) for DD and 0/1 ratios for OL) and returns the timing
+// result. The kernels perform the real work: after Run returns, the data
+// structures the kernels touch are fully updated regardless of the ratios.
+func (e *Exec) Run(s Series, ratios Ratios) (Result, error) {
+	if err := ratios.Validate(len(s.Steps)); err != nil {
+		return Result{}, fmt.Errorf("series %s: %w", s.Name, err)
+	}
+	res := Result{Name: s.Name, Steps: make([]StepResult, len(s.Steps))}
+
+	for i, st := range s.Steps {
+		r := ratios[i]
+		split := int(r * float64(s.Items))
+		if split < 0 {
+			split = 0
+		}
+		if split > s.Items {
+			split = s.Items
+		}
+
+		var sr StepResult
+		sr.ID = st.ID
+		sr.Ratio = r
+		if split > 0 {
+			sr.CPUAcct = st.Kernel(e.CPU, 0, split)
+			sr.CPUNS = e.CPU.TimeNS(sr.CPUAcct, e.Env(st.ID, e.CPU))
+		}
+		if split < s.Items {
+			sr.GPUAcct = st.Kernel(e.GPU, split, s.Items)
+			sr.GPUNS = e.GPU.TimeNS(sr.GPUAcct, e.Env(st.ID, e.GPU))
+		}
+
+		// Intermediate results crossing devices (paper Sec. 3.2: the
+		// workload-ratio difference between consecutive steps determines
+		// the amount of intermediate results).
+		if i > 0 {
+			d := ratios[i] - ratios[i-1]
+			if d < 0 {
+				d = -d
+			}
+			sr.IntermediateItems = int64(d * float64(s.Items))
+			sr.IntermediateBytes = sr.IntermediateItems * s.Steps[i-1].OutBytesPerItem
+			if e.PCIe != nil && sr.IntermediateBytes > 0 {
+				t := e.PCIe.TransferNS(sr.IntermediateBytes)
+				res.TransferNS += t
+			}
+		}
+
+		res.Steps[i] = sr
+		if st.After != nil {
+			st.After()
+		}
+	}
+
+	applyDelays(&res)
+	res.TotalNS = maxf(res.CPUNS, res.GPUNS) + res.TransferNS
+	return res, nil
+}
+
+// applyDelays computes the pipelined execution delays and per-device totals
+// for an executed series.
+func applyDelays(res *Result) {
+	n := len(res.Steps)
+	cpu := make([]float64, n)
+	gpu := make([]float64, n)
+	ratios := make(Ratios, n)
+	for i, st := range res.Steps {
+		cpu[i] = st.CPUNS
+		gpu[i] = st.GPUNS
+		ratios[i] = st.Ratio
+	}
+	cpuTot, gpuTot, dCPU, dGPU := Delays(cpu, gpu, ratios)
+	for i := range res.Steps {
+		res.Steps[i].DelayCPUNS = dCPU[i]
+		res.Steps[i].DelayGPUNS = dGPU[i]
+	}
+	res.CPUNS = cpuTot
+	res.GPUNS = gpuTot
+}
+
+// Delays computes the pipelined execution delays of the paper's Eqs. 4 and 5
+// and the per-device totals of Eq. 2, given raw per-step times and ratios.
+//
+// Case 1 (r_i > r_{i-1}): the CPU waits for GPU-produced input,
+//
+//	D_i^CPU = (Σ_{j<i} T_j^GPU − T_{i-1}^GPU × (1−r_i)/(1−r_{i-1})) − Σ_{j≤i} T_j^CPU
+//
+// Case 2 (r_i < r_{i-1}) mirrors it for the GPU (Eq. 5: the subtracted term
+// is the GPU's own step-i time overlapping the CPU's step-(i-1) production).
+// Negative delays clamp to 0. The cost model (internal/cost) evaluates the
+// same equations over estimated step times.
+func Delays(cpuNS, gpuNS []float64, ratios Ratios) (cpuTot, gpuTot float64, dCPU, dGPU []float64) {
+	n := len(ratios)
+	dCPU = make([]float64, n)
+	dGPU = make([]float64, n)
+	// Prefix sums of step times with preceding stalls folded in, as the
+	// equations accumulate T_j which include earlier delays.
+	var cpuSum, gpuSum float64
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			ri := ratios[i]
+			rp := ratios[i-1]
+			switch {
+			case ri > rp:
+				frac := 0.0
+				if rp < 1 {
+					frac = (1 - ri) / (1 - rp)
+				}
+				d := (gpuSum - gpuNS[i-1]*frac) - (cpuSum + cpuNS[i])
+				if d > 0 {
+					dCPU[i] = d
+				}
+			case ri < rp:
+				frac := 0.0
+				if ri < 1 {
+					frac = (1 - rp) / (1 - ri)
+				}
+				d := cpuSum - (gpuSum + gpuNS[i] - gpuNS[i]*frac)
+				if d > 0 {
+					dGPU[i] = d
+				}
+			}
+		}
+		cpuSum += cpuNS[i] + dCPU[i]
+		gpuSum += gpuNS[i] + dGPU[i]
+	}
+	return cpuSum, gpuSum, dCPU, dGPU
+}
+
+// DelayTotals is Delays without the per-step delay slices, allocation-free
+// for the optimizer's inner loop.
+func DelayTotals(cpuNS, gpuNS []float64, ratios Ratios) (cpuTot, gpuTot float64) {
+	var cpuSum, gpuSum float64
+	for i := range ratios {
+		var dC, dG float64
+		if i > 0 {
+			ri := ratios[i]
+			rp := ratios[i-1]
+			switch {
+			case ri > rp:
+				frac := 0.0
+				if rp < 1 {
+					frac = (1 - ri) / (1 - rp)
+				}
+				if d := (gpuSum - gpuNS[i-1]*frac) - (cpuSum + cpuNS[i]); d > 0 {
+					dC = d
+				}
+			case ri < rp:
+				frac := 0.0
+				if ri < 1 {
+					frac = (1 - rp) / (1 - ri)
+				}
+				if d := cpuSum - (gpuSum + gpuNS[i] - gpuNS[i]*frac); d > 0 {
+					dG = d
+				}
+			}
+		}
+		cpuSum += cpuNS[i] + dC
+		gpuSum += gpuNS[i] + dG
+	}
+	return cpuSum, gpuSum
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
