@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Parallel-runtime speedup benchmark plus the per-variant join benchmarks.
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkParallelSpeedup|BenchmarkJoin' -benchmem .
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything CI runs, in the same order.
+check: fmt vet build race

@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"time"
 
 	"apujoin"
 	"apujoin/internal/alloc"
@@ -31,12 +33,14 @@ func main() {
 	delta := flag.Float64("delta", 0.02, "ratio grid granularity δ")
 	basic := flag.Bool("basic-alloc", false, "use the basic (contended) memory allocator")
 	block := flag.Int("block", alloc.DefaultBlockBytes, "allocator block size (bytes)")
+	workers := flag.Int("workers", 0, "host worker goroutines for the morsel runtime (0 = GOMAXPROCS); changes wall-clock only, never results or simulated times")
 	flag.Parse()
 
 	opt := apujoin.Options{
 		Delta:          *delta,
 		SeparateTables: *separate,
 		Grouping:       *grouping,
+		Workers:        *workers,
 	}
 	opt.Alloc.BlockBytes = *block
 	if *basic {
@@ -93,8 +97,19 @@ func main() {
 	r := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}.Build()
 	s := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}.Probe(r, *sel)
 
+	hostLine := func(wall time.Duration) {
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("host: %v wall-clock with %d worker(s)\n", wall.Round(time.Microsecond), w)
+	}
+
+	start := time.Now()
 	res, err := apujoin.Join(r, s, opt)
+	wall := time.Since(start)
 	if err == apujoin.ErrExceedsZeroCopy {
+		extStart := time.Now()
 		ext, eerr := apujoin.JoinExternal(r, s, opt)
 		if eerr != nil {
 			log.Fatal(eerr)
@@ -102,6 +117,7 @@ func main() {
 		fmt.Printf("external join (data > zero-copy buffer): %d matches\n", ext.Matches)
 		fmt.Printf("partition %.2f ms, join %.2f ms, data copy %.2f ms, total %.2f ms (%d pairs)\n",
 			ext.PartitionNS/1e6, ext.JoinNS/1e6, ext.DataCopyNS/1e6, ext.TotalNS/1e6, ext.Pairs)
+		hostLine(time.Since(extStart))
 		return
 	}
 	if err != nil {
@@ -133,4 +149,5 @@ func main() {
 		res.Cache.Accesses, res.Cache.Misses, res.Cache.MissRatio()*100)
 	fmt.Printf("allocator: %d allocs, %d global atomics, %d local ops\n",
 		res.AllocStats.Allocs, res.AllocStats.GlobalAtomics, res.AllocStats.LocalOps)
+	hostLine(wall)
 }

@@ -1,0 +1,3 @@
+module apujoin
+
+go 1.24

@@ -16,7 +16,11 @@
 // into their device accounting record.
 package alloc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Strategy selects the allocator implementation.
 type Strategy int
@@ -73,16 +77,30 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
+// Add accumulates t into s.
+func (s *Stats) Add(t Stats) {
+	s.Allocs += t.Allocs
+	s.Words += t.Words
+	s.GlobalAtomics += t.GlobalAtomics
+	s.LocalOps += t.LocalOps
+	s.WastedWords += t.WastedWords
+}
+
 // Arena is a pre-allocated int32 array serving dynamic requests.
-// It is not safe for concurrent use; the execution engine runs kernels
-// sequentially and models concurrency analytically.
+//
+// The serial entry point Alloc is not safe for concurrent use; the parallel
+// execution engine instead hands each worker a Local view (see local.go)
+// whose block grabs go through Grab, the only concurrent operation. While
+// any Local is live the backing array never moves: Grab serves strictly
+// from the pre-sized capacity and refuses to grow.
 type Arena struct {
 	cfg        Config
 	words      []int32
-	next       int
-	blockLeft  int // words remaining in the current block (Block strategy)
+	next       int64 // bumped atomically by Grab, plainly by Alloc
+	blockLeft  int   // words remaining in the current block (Block strategy)
 	blockWords int
 	stats      Stats
+	statsMu    sync.Mutex // guards stats folds from closing Locals
 }
 
 // New returns an arena with capacity for capWords int32 words.
@@ -107,7 +125,7 @@ func (a *Arena) Config() Config { return a.cfg }
 func (a *Arena) Stats() Stats { return a.stats }
 
 // Used returns the number of words handed out (including block waste).
-func (a *Arena) Used() int { return a.next }
+func (a *Arena) Used() int { return int(atomic.LoadInt64(&a.next)) }
 
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() int { return len(a.words) }
@@ -144,7 +162,7 @@ func (a *Arena) Alloc(n int) int32 {
 			// Grab a fresh block: one global atomic; the remainder of the
 			// previous block is wasted.
 			a.stats.WastedWords += int64(a.blockLeft)
-			a.next += a.blockLeft
+			a.next += int64(a.blockLeft)
 			a.blockLeft = a.blockWords
 			a.stats.GlobalAtomics++
 		}
@@ -153,9 +171,33 @@ func (a *Arena) Alloc(n int) int32 {
 	}
 
 	off := a.next
-	a.ensure(off + n)
-	a.next = off + n
+	a.ensure(int(off) + n)
+	a.next = off + int64(n)
 	return int32(off)
+}
+
+// Grab reserves n words with one atomic bump of the arena pointer — the
+// "global atomic" of the paper's allocator model — and is the only
+// operation safe to call concurrently. It never grows the arena: callers
+// (worker Locals) run inside parallel phases where the backing array must
+// stay put, so arenas are pre-sized for their worst case and exhaustion is
+// a sizing bug, not a runtime condition.
+func (a *Arena) Grab(n int) int32 {
+	if n <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive grab %d", n))
+	}
+	end := atomic.AddInt64(&a.next, int64(n))
+	if end > int64(len(a.words)) {
+		panic(fmt.Sprintf("alloc: arena exhausted during parallel phase (%d of %d words); pre-size the arena", end, len(a.words)))
+	}
+	return int32(end - int64(n))
+}
+
+// foldStats merges a closing Local's counters into the arena totals.
+func (a *Arena) foldStats(s Stats) {
+	a.statsMu.Lock()
+	a.stats.Add(s)
+	a.statsMu.Unlock()
 }
 
 // GroupGrabs accounts for the per-work-group partial blocks the single-stream

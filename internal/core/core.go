@@ -104,6 +104,13 @@ type Options struct {
 	// separate memories there).
 	SeparateTables bool
 
+	// Workers is the number of host goroutines the morsel-driven runtime
+	// uses to execute kernel ranges concurrently; 0 selects GOMAXPROCS.
+	// The work decomposition is independent of the worker count, so match
+	// counts and every simulated time are identical for any Workers value
+	// — parallelism changes host wall-clock only.
+	Workers int
+
 	// Alloc configures the software memory allocator (Sec. 3.3).
 	Alloc alloc.Config
 

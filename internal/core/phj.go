@@ -15,6 +15,16 @@ import (
 // size the partition-phase cache working set.
 const chunkBytes = int64((1 + 2*radix.ChunkTuples) * 4)
 
+// passArenaWords pre-sizes one radix pass's chunk arena for the worst-case
+// chunk population (one partial chunk per partition beyond the full ones),
+// with headroom for worker-private block allocation, since the arena must
+// not grow while parallel shards hold offsets into it.
+func passArenaWords(n, parts int, cfg alloc.Config) int {
+	chunkWords := 1 + 2*radix.ChunkTuples
+	chunks := n/radix.ChunkTuples + parts + 1
+	return alloc.ParallelCapWords(cfg, chunks*chunkWords, chunkWords, 2*sched.DefaultShards)
+}
+
 // partitionPhase runs the multi-pass radix partitioning of both relations
 // under the configured scheme, leaving rn.r / rn.s reordered by partition
 // with rn.partIdx* filled, and accumulating partition-phase timing into res.
@@ -40,7 +50,7 @@ func (rn *runner) partitionPhase(res *Result, exec *sched.Exec, model *cost.Mode
 		shift := opt.HashShift
 
 		for _, bits := range plan.BitsPerPass {
-			arena := alloc.New(opt.Alloc, n*3+radix.ChunkTuples*4)
+			arena := alloc.New(opt.Alloc, passArenaWords(n, 1<<bits, opt.Alloc))
 			pass := radix.NewPass(cur, arena, shift, bits)
 			rn.env.partitionStreams = int64(1<<bits) * chunkBytes
 
@@ -48,9 +58,28 @@ func (rn *runner) partitionPhase(res *Result, exec *sched.Exec, model *cost.Mode
 				Name:  "partition",
 				Items: n,
 				Steps: []sched.Step{
-					{ID: sched.N1, OutBytesPerItem: 4, Kernel: pass.N1},
-					{ID: sched.N2, OutBytesPerItem: 4, Kernel: pass.N2},
-					{ID: sched.N3, OutBytesPerItem: 0, Kernel: pass.N3},
+					{ID: sched.N1, OutBytesPerItem: 4, Kernel: pass.N1,
+						ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+							return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+								return pass.N1(d, mlo, mhi)
+							})
+						}},
+					{ID: sched.N2, OutBytesPerItem: 4, Kernel: pass.N2,
+						ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+							return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+								return pass.N2Atomic(d, mlo, mhi)
+							})
+						}},
+					{ID: sched.N3, OutBytesPerItem: 0, Kernel: pass.N3,
+						ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+							shards := pass.Shards(sched.DefaultShards)
+							sh := pass.ShardShift(shards)
+							return p.MapShards(shards, func(shard int) device.Acct {
+								la := arena.NewLocal()
+								defer la.Close()
+								return pass.N3Shard(d, lo, hi, int32(shard), sh, la)
+							})
+						}},
 				},
 			}
 
@@ -93,12 +122,7 @@ func (rn *runner) partitionPhase(res *Result, exec *sched.Exec, model *cost.Mode
 			_, ga := pass.Gather(buf)
 			res.PartitionNS += rn.cpu.TimeNS(ga, rn.env.envFor(sched.N3, rn.cpu))
 
-			st := arena.Stats()
-			res.AllocStats.Allocs += st.Allocs
-			res.AllocStats.Words += st.Words
-			res.AllocStats.GlobalAtomics += st.GlobalAtomics
-			res.AllocStats.LocalOps += st.LocalOps
-			res.AllocStats.WastedWords += st.WastedWords
+			res.AllocStats.Add(arena.Stats())
 
 			cur, buf = buf, cur
 			shift += bits

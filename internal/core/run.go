@@ -53,9 +53,10 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 	defer opt.ZeroCopy.Free(foot)
 
 	rn := newRunner(r, s, opt)
+	rn.pool = sched.NewPool(opt.Workers)
 	res := &Result{Algo: opt.Algo, Scheme: opt.Scheme, Arch: opt.Arch, ZeroCopyBytes: foot}
 
-	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor}
+	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor, Pool: rn.pool}
 	var pcie mem.PCIe
 	if opt.Arch == Discrete {
 		pcie = mem.NewPCIe()
@@ -85,6 +86,15 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 		res.AllocStats = rn.allocTotals()
 		finishEstimates(res)
 		return res, nil
+	}
+
+	// Grouped execution reorders tuples by workload hint, and both the hint
+	// values and the grouped processing order are only meaningful on a
+	// single stream; the build and probe series therefore run serially when
+	// the grouping optimization is enabled (the partition phase above still
+	// parallelizes).
+	if opt.Grouping {
+		exec.Pool = nil
 	}
 
 	rn.makeTables()

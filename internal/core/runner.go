@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"apujoin/internal/alloc"
 	"apujoin/internal/device"
 	"apujoin/internal/htab"
@@ -18,6 +21,15 @@ type runner struct {
 	cpu *device.Device
 	gpu *device.Device
 	env *envState
+
+	// pool is the morsel-driven worker pool Run hands to the executor; the
+	// pilot's runner leaves it nil so profiling stays single-stream.
+	pool *sched.Pool
+
+	// outExtra accumulates allocator activity of the morsel-private output
+	// arenas the parallel p4 materializes through (outMu guards it).
+	outMu    sync.Mutex
+	outExtra alloc.Stats
 
 	arena    *alloc.Arena // table nodes (CPU table when separate)
 	arenaGPU *alloc.Arena // GPU table nodes when separate
@@ -51,9 +63,16 @@ func newRunner(r, s rel.Relation, opt Options) *runner {
 	}
 	nr, ns := r.Len(), s.Len()
 
-	rn.arena = alloc.New(opt.Alloc, nr*6+64)
+	// Table arenas are pre-sized for their worst case (every key distinct:
+	// 3 words per key node + 2 per rid node) with headroom for the
+	// worker-private block allocation of the parallel build, because the
+	// backing array must not move while shards hold offsets into it. A
+	// separate GPU table must fit a full build: under GPU-only ratios it
+	// receives every tuple.
+	tableWords := alloc.ParallelCapWords(opt.Alloc, nr*5+64, 3, 4*sched.DefaultShards)
+	rn.arena = alloc.New(opt.Alloc, tableWords)
 	if opt.SeparateTables {
-		rn.arenaGPU = alloc.New(opt.Alloc, nr*3+64)
+		rn.arenaGPU = alloc.New(opt.Alloc, tableWords)
 	}
 	rn.outArena = alloc.New(opt.Alloc, 64)
 	rn.out = htab.Out{Arena: rn.outArena, Materialize: !opt.CountOnly}
@@ -119,7 +138,22 @@ func (rn *runner) grouping(d *device.Device, work []int32, lo, hi int) ([]int32,
 	return order, a
 }
 
-// buildSeries returns the build step series (b1..b4) over R.
+// mapOwned runs an ownership-shard kernel over t's bucket space: fn
+// receives the shard number, the bucket shift routing buckets to shards,
+// and a worker-private allocator on t's arena.
+func mapOwned(p *sched.Pool, t *htab.Table, fn func(shard int32, shift uint, la *alloc.Local) device.Acct) device.Acct {
+	shards := t.Shards(sched.DefaultShards)
+	shift := t.ShardShift(shards)
+	return p.MapShards(shards, func(shard int) device.Acct {
+		la := t.Arena().NewLocal()
+		defer la.Close()
+		return fn(int32(shard), shift, la)
+	})
+}
+
+// buildSeries returns the build step series (b1..b4) over R. Every step
+// carries both the single-stream kernel and its parallel counterpart; the
+// executor picks by the presence of a worker pool.
 func (rn *runner) buildSeries() sched.Series {
 	keys, rids := rn.r.Keys, rn.r.RIDs
 	steps := []sched.Step{
@@ -131,11 +165,24 @@ func (rn *runner) buildSeries() sched.Series {
 				}
 				return rn.tableFor(d).B1(d, keys, rn.bucketR, lo, hi)
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					if rn.opt.Algo == PHJ {
+						return rn.tableFor(d).B1Seg(d, keys, rn.partIdxR, rn.bucketR, mlo, mhi)
+					}
+					return rn.tableFor(d).B1(d, keys, rn.bucketR, mlo, mhi)
+				})
+			},
 		},
 		{
 			ID: sched.B2, OutBytesPerItem: 8,
 			Kernel: func(d *device.Device, lo, hi int) device.Acct {
 				return rn.tableFor(d).B2(d, rn.bucketR, rn.headR, rn.workR, lo, hi)
+			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					return rn.tableFor(d).B2Atomic(d, rn.bucketR, rn.headR, rn.workR, mlo, mhi)
+				})
 			},
 		},
 		{
@@ -146,18 +193,33 @@ func (rn *runner) buildSeries() sched.Series {
 				a.Add(ga)
 				return a
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				t := rn.tableFor(d)
+				return mapOwned(p, t, func(shard int32, shift uint, la *alloc.Local) device.Acct {
+					return t.B3Shard(d, keys, rn.bucketR, rn.nodeR, lo, hi, shard, shift, la)
+				})
+			},
 		},
 		{
 			ID: sched.B4, OutBytesPerItem: 0,
 			Kernel: func(d *device.Device, lo, hi int) device.Acct {
 				return rn.tableFor(d).B4(d, rids, rn.nodeR, lo, hi)
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				t := rn.tableFor(d)
+				return mapOwned(p, t, func(shard int32, shift uint, la *alloc.Local) device.Acct {
+					return t.B4Shard(d, rids, rn.bucketR, rn.nodeR, lo, hi, shard, shift, la)
+				})
+			},
 		},
 	}
 	return sched.Series{Name: "build", Items: rn.r.Len(), Steps: steps}
 }
 
-// probeSeries returns the probe step series (p1..p4) over S.
+// probeSeries returns the probe step series (p1..p4) over S. The probe
+// reads an immutable table, so every step splits into plain range morsels;
+// p4 routes materialized pairs through morsel-private output arenas and
+// folds their match counts and allocator activity back into the run.
 func (rn *runner) probeSeries() sched.Series {
 	keys, rids := rn.s.Keys, rn.s.RIDs
 	steps := []sched.Step{
@@ -169,11 +231,24 @@ func (rn *runner) probeSeries() sched.Series {
 				}
 				return rn.tableFor(d).P1(d, keys, rn.bucketS, lo, hi)
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					if rn.opt.Algo == PHJ {
+						return rn.tableFor(d).P1Seg(d, keys, rn.partIdxS, rn.bucketS, mlo, mhi)
+					}
+					return rn.tableFor(d).P1(d, keys, rn.bucketS, mlo, mhi)
+				})
+			},
 		},
 		{
 			ID: sched.P2, OutBytesPerItem: 12,
 			Kernel: func(d *device.Device, lo, hi int) device.Acct {
 				return rn.tableFor(d).P2(d, rn.bucketS, rn.headS, rn.workS, lo, hi)
+			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					return rn.tableFor(d).P2(d, rn.bucketS, rn.headS, rn.workS, mlo, mhi)
+				})
 			},
 		},
 		{
@@ -184,6 +259,11 @@ func (rn *runner) probeSeries() sched.Series {
 				a.Add(ga)
 				return a
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					return rn.tableFor(d).P3(d, keys, rn.headS, rn.nodeS, mlo, mhi, nil)
+				})
+			},
 		},
 		{
 			ID: sched.P4, OutBytesPerItem: 0,
@@ -193,6 +273,22 @@ func (rn *runner) probeSeries() sched.Series {
 				a.Add(ga)
 				return a
 			},
+			ParKernel: func(d *device.Device, lo, hi int, p *sched.Pool) device.Acct {
+				return p.MapRange(lo, hi, func(mlo, mhi int) device.Acct {
+					priv := htab.Out{Materialize: rn.out.Materialize}
+					if priv.Materialize {
+						priv.Arena = alloc.New(rn.opt.Alloc, 4*(mhi-mlo)+64)
+					}
+					a := rn.tableFor(d).P4(d, rids, rn.nodeS, &priv, mlo, mhi, nil)
+					atomic.AddInt64(&rn.out.Pairs, priv.Pairs)
+					if priv.Arena != nil {
+						rn.outMu.Lock()
+						rn.outExtra.Add(priv.Arena.Stats())
+						rn.outMu.Unlock()
+					}
+					return a
+				})
+			},
 		},
 	}
 	return sched.Series{Name: "probe", Items: rn.s.Len(), Steps: steps}
@@ -201,16 +297,10 @@ func (rn *runner) probeSeries() sched.Series {
 // allocTotals aggregates allocator activity across the run's arenas.
 func (rn *runner) allocTotals() alloc.Stats {
 	st := rn.arena.Stats()
-	add := func(o alloc.Stats) {
-		st.Allocs += o.Allocs
-		st.Words += o.Words
-		st.GlobalAtomics += o.GlobalAtomics
-		st.LocalOps += o.LocalOps
-		st.WastedWords += o.WastedWords
-	}
 	if rn.arenaGPU != nil {
-		add(rn.arenaGPU.Stats())
+		st.Add(rn.arenaGPU.Stats())
 	}
-	add(rn.outArena.Stats())
+	st.Add(rn.outArena.Stats())
+	st.Add(rn.outExtra)
 	return st
 }

@@ -1,0 +1,172 @@
+package htab
+
+import (
+	"sync/atomic"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+)
+
+// Parallel-safe build kernels for the morsel-driven runtime.
+//
+// Two mechanisms keep concurrent builds both correct and deterministic:
+//
+//   - B2Atomic replaces the bucket-header count increment with a
+//     sync/atomic add on the Count array, so range morsels of b2 can run
+//     concurrently. Counter sums are order-independent, so the final table
+//     state and the accounting are schedule-free.
+//
+//   - B3Shard / B4Shard split the insert steps by bucket OWNERSHIP instead
+//     of by range: shard k processes exactly the tuples whose bucket lies
+//     in its slice of the bucket space (for the segmented PHJ table the
+//     high bucket bits are the partition index, so shards own disjoint
+//     partition segments). Within a shard, tuples are visited in index
+//     order — the same relative order per bucket as a single-stream
+//     execution — so key-list shapes, walk lengths and therefore simulated
+//     times are identical no matter how many workers execute the shards.
+//     Node allocation goes through a worker-private alloc.Local.
+//
+// The per-item accounting charges match the serial kernels; the ownership
+// scan over the morsel's bucket numbers is runtime scheduling work (a
+// streamed, branch-friendly pass) and is not modeled, like the morsel
+// dispatch itself.
+
+// ShardShift returns the right-shift that maps a bucket number to its
+// ownership shard for the given shard count (a power of two). Callers pass
+// the result to B3Shard/B4Shard with shard numbers in [0,shards).
+func (t *Table) ShardShift(shards int) uint {
+	var shift uint
+	for 1<<shift < t.nBuckets {
+		shift++
+	}
+	var sbits uint
+	for 1<<sbits < shards {
+		sbits++
+	}
+	if sbits > shift {
+		return 0
+	}
+	return shift - sbits
+}
+
+// Shards clamps the requested ownership shard count to the bucket count,
+// keeping it a power of two.
+func (t *Table) Shards(want int) int {
+	s := 1
+	for s*2 <= want && s*2 <= t.nBuckets {
+		s *= 2
+	}
+	return s
+}
+
+// B2Atomic is B2 with a sync/atomic increment of the bucket count, safe for
+// concurrent range morsels. The head snapshot is a plain read: b3 is the
+// step that links new key nodes, so Head is constant throughout b2. The
+// work hint records the post-increment count; under concurrency its exact
+// value is schedule-dependent, so grouped execution (the only consumer)
+// stays on the serial path.
+func (t *Table) B2Atomic(d *device.Device, bucket []int32, head, work []int32, lo, hi int) device.Acct {
+	var a device.Acct
+	for i := lo; i < hi; i++ {
+		b := bucket[i]
+		c := atomic.AddInt32(&t.Count[b], 1)
+		head[i] = t.Head[b]
+		if work != nil {
+			work[i] = c
+		}
+	}
+	n := int64(hi - lo)
+	a.Items = n
+	a.Instr = n * instrVisitHeader
+	a.SeqBytes = n * 8
+	a.Rand[device.RegionHashTable] = n
+	a.AtomicOps = n
+	a.AtomicTargets = int64(t.nBuckets)
+	return a
+}
+
+// B3Shard performs b3 for the tuples of [lo,hi) owned by shard: the key
+// lists visited (and the key nodes created, through the worker-private
+// allocator) all live in bucket range [shard<<shift, (shard+1)<<shift), so
+// concurrent shards never touch the same list.
+func (t *Table) B3Shard(d *device.Device, keys, bucket, node []int32, lo, hi int, shard int32, shift uint, la *alloc.Local) device.Acct {
+	var a device.Acct
+	div := device.NewDivTracker(d.WavefrontSize)
+	words := t.arena.Words()
+
+	var processed int64
+	for i := lo; i < hi; i++ {
+		b := bucket[i]
+		if b>>shift != shard {
+			continue
+		}
+		key := keys[i]
+		var visited int32 = 1
+		kn := t.Head[b]
+		for kn != nilRef && words[kn+keyOffKey] != key {
+			kn = words[kn+keyOffNext]
+			visited++
+		}
+		if kn == nilRef {
+			kn = la.Alloc(keyNodeWords)
+			words[kn+keyOffKey] = key
+			words[kn+keyOffRIDHead] = nilRef
+			words[kn+keyOffNext] = t.Head[b]
+			t.Head[b] = kn
+			atomic.AddInt64(&t.numKeys, 1)
+			a.Instr += instrCreateNode
+			a.AtomicOps++ // latched head swap on the bucket
+		}
+		node[i] = kn
+		a.Instr += int64(visited) * instrListNode
+		a.Rand[device.RegionHashTable] += int64(visited)
+		div.Item(visited)
+		processed++
+	}
+
+	a.Items = processed
+	a.SeqBytes = processed * 12 // key, bucket number, node ref
+	a.AtomicTargets = int64(t.nBuckets)
+	st := la.Stats()
+	a.AllocAtomics += st.GlobalAtomics
+	a.LocalOps += st.LocalOps
+	div.Flush(&a)
+	return a
+}
+
+// B4Shard performs b4 for the tuples of [lo,hi) owned by shard. The key
+// node a tuple appends to belongs to the tuple's bucket, so ownership
+// carries over from b3 and the rid-list pushes need no synchronization.
+func (t *Table) B4Shard(d *device.Device, rids, bucket, node []int32, lo, hi int, shard int32, shift uint, la *alloc.Local) device.Acct {
+	var a device.Acct
+	words := t.arena.Words()
+	before := la.Stats()
+
+	var processed int64
+	for i := lo; i < hi; i++ {
+		if bucket[i]>>shift != shard {
+			continue
+		}
+		kn := node[i]
+		rn := la.Alloc(ridNodeWords)
+		words[rn+ridOffRID] = rids[i]
+		words[rn+ridOffNext] = words[kn+keyOffRIDHead]
+		words[kn+keyOffRIDHead] = rn
+		processed++
+	}
+
+	a.Items = processed
+	a.Instr = processed * instrInsertRID
+	a.SeqBytes = processed * 8
+	a.Rand[device.RegionHashTable] = processed * 2
+	a.AtomicOps = processed
+	if nk := atomic.LoadInt64(&t.numKeys); nk > 0 {
+		a.AtomicTargets = nk
+	} else {
+		a.AtomicTargets = 1
+	}
+	st := la.Stats().Sub(before)
+	a.AllocAtomics += st.GlobalAtomics
+	a.LocalOps += st.LocalOps
+	return a
+}

@@ -1,0 +1,125 @@
+package htab
+
+import (
+	"testing"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+	"apujoin/internal/rel"
+)
+
+// buildSerial runs the single-stream b1..b4 pipeline.
+func buildSerial(r rel.Relation) *Table {
+	n := r.Len()
+	arena := alloc.New(alloc.Config{}, n*6+64)
+	t := New(n, arena)
+	cpu := device.New(device.APUCPU())
+	bucket := make([]int32, n)
+	head := make([]int32, n)
+	node := make([]int32, n)
+	t.B1(cpu, r.Keys, bucket, 0, n)
+	t.B2(cpu, bucket, head, nil, 0, n)
+	t.B3(cpu, r.Keys, bucket, node, 0, n, nil)
+	t.B4(cpu, r.RIDs, node, 0, n)
+	return t
+}
+
+// buildSharded runs the concurrency-safe pipeline the way the pool does:
+// atomic b2 over range morsels, then b3/b4 by bucket-ownership shards.
+func buildSharded(r rel.Relation, shards int) *Table {
+	n := r.Len()
+	arena := alloc.New(alloc.Config{}, alloc.ParallelCapWords(alloc.Config{}, n*5+64, 3, 2*shards))
+	t := New(n, arena)
+	cpu := device.New(device.APUCPU())
+	bucket := make([]int32, n)
+	head := make([]int32, n)
+	node := make([]int32, n)
+	t.B1(cpu, r.Keys, bucket, 0, n)
+	t.B2Atomic(cpu, bucket, head, nil, 0, n)
+	shards = t.Shards(shards)
+	shift := t.ShardShift(shards)
+	for s := int32(0); s < int32(shards); s++ {
+		la := arena.NewLocal()
+		t.B3Shard(cpu, r.Keys, bucket, node, 0, n, s, shift, la)
+		la.Close()
+	}
+	for s := int32(0); s < int32(shards); s++ {
+		la := arena.NewLocal()
+		t.B4Shard(cpu, r.RIDs, bucket, node, 0, n, s, shift, la)
+		la.Close()
+	}
+	return t
+}
+
+// TestShardedBuildMatchesSerial compares the sharded build against the
+// serial one structurally: identical invariants, key population and rid
+// sets per key (the ownership design even preserves per-bucket insertion
+// order, so list shapes and walk costs match too).
+func TestShardedBuildMatchesSerial(t *testing.T) {
+	for _, dist := range []rel.Distribution{rel.Uniform, rel.HighSkew} {
+		r := rel.Gen{N: 20000, Dist: dist, Seed: 7}.Build()
+		serial := buildSerial(r)
+		sharded := buildSharded(r, 16)
+
+		if err := sharded.Validate(); err != nil {
+			t.Fatalf("%v: sharded table invalid: %v", dist, err)
+		}
+		if serial.NumKeys() != sharded.NumKeys() {
+			t.Fatalf("%v: keys %d vs %d", dist, serial.NumKeys(), sharded.NumKeys())
+		}
+		for _, k := range r.Keys[:200] {
+			a, b := serial.Lookup(k), sharded.Lookup(k)
+			if len(a) != len(b) {
+				t.Fatalf("%v: key %d rids %d vs %d", dist, k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: key %d rid order differs at %d: %d vs %d", dist, k, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBuildAccountingDeterministic: per-tuple accounting must be a
+// pure function of the shard decomposition, not of shard execution order.
+func TestShardedBuildAccountingDeterministic(t *testing.T) {
+	r := rel.Gen{N: 8192, Seed: 9}.Build()
+	n := r.Len()
+	cpu := device.New(device.APUCPU())
+
+	run := func(order []int32) (device.Acct, *Table) {
+		arena := alloc.New(alloc.Config{}, alloc.ParallelCapWords(alloc.Config{}, n*5+64, 3, 32))
+		tab := New(n, arena)
+		bucket := make([]int32, n)
+		head := make([]int32, n)
+		node := make([]int32, n)
+		tab.B1(cpu, r.Keys, bucket, 0, n)
+		tab.B2Atomic(cpu, bucket, head, nil, 0, n)
+		shards := tab.Shards(16)
+		shift := tab.ShardShift(shards)
+		accts := make([]device.Acct, shards)
+		for _, s := range order {
+			la := arena.NewLocal()
+			accts[s] = tab.B3Shard(cpu, r.Keys, bucket, node, 0, n, s, shift, la)
+			la.Close()
+		}
+		var sum device.Acct
+		for _, a := range accts {
+			sum.Add(a)
+		}
+		return sum, tab
+	}
+
+	fwd := make([]int32, 16)
+	rev := make([]int32, 16)
+	for i := range fwd {
+		fwd[i] = int32(i)
+		rev[i] = int32(15 - i)
+	}
+	a, _ := run(fwd)
+	b, _ := run(rev)
+	if a != b {
+		t.Fatalf("b3 accounting depends on shard execution order:\n fwd %+v\n rev %+v", a, b)
+	}
+}

@@ -1,0 +1,101 @@
+package radix
+
+import (
+	"sync/atomic"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/device"
+)
+
+// Parallel-safe partition kernels, following the same two mechanisms as
+// package htab: atomic counter updates for the header-visit step and
+// partition ownership for the append step. Shard k owns the partitions
+// [k<<shift, (k+1)<<shift), so concurrent shards append through disjoint
+// partition headers and chunk chains, and within a partition tuples append
+// in index order — the same order as a single-stream pass, keeping the
+// gathered relation (and everything downstream of it) schedule-free.
+
+// ShardShift returns the right-shift mapping a partition number to its
+// ownership shard for the given shard count (a power of two ≤ Partitions).
+func (p *Pass) ShardShift(shards int) uint {
+	var sbits uint
+	for 1<<sbits < shards {
+		sbits++
+	}
+	if sbits > p.Bits {
+		return 0
+	}
+	return p.Bits - sbits
+}
+
+// Shards clamps the requested shard count to the pass fan-out, keeping it a
+// power of two.
+func (p *Pass) Shards(want int) int {
+	s := 1
+	for s*2 <= want && s*2 <= len(p.counts) {
+		s *= 2
+	}
+	return s
+}
+
+// N2Atomic is N2 with a sync/atomic increment of the partition tuple count,
+// safe for concurrent range morsels.
+func (p *Pass) N2Atomic(d *device.Device, lo, hi int) device.Acct {
+	var a device.Acct
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&p.counts[p.part[i]], 1)
+	}
+	n := int64(hi - lo)
+	a.Items = n
+	a.Instr = n * instrVisitHdr
+	a.SeqBytes = n * 4
+	a.Rand[device.RegionPartition] = n
+	a.AtomicOps = n
+	a.AtomicTargets = int64(len(p.counts))
+	return a
+}
+
+// N3Shard performs n3 for the tuples of [lo,hi) whose partition is owned by
+// shard, appending through the worker-private allocator.
+func (p *Pass) N3Shard(d *device.Device, lo, hi int, shard int32, shift uint, la *alloc.Local) device.Acct {
+	var a device.Acct
+	inK, inR := p.in.Keys, p.in.RIDs
+	words := p.arena.Words()
+
+	var processed int64
+	for i := lo; i < hi; i++ {
+		pt := p.part[i]
+		if pt>>shift != shard {
+			continue
+		}
+		f := p.fill[pt]
+		if p.tail[pt] == nilRef || f == ChunkTuples {
+			c := la.Alloc(chunkWords)
+			words[c+chunkOffNxt] = nilRef
+			if p.tail[pt] == nilRef {
+				p.head[pt] = c
+			} else {
+				words[p.tail[pt]+chunkOffNxt] = c
+			}
+			p.tail[pt] = c
+			p.fill[pt] = 0
+			f = 0
+		}
+		off := p.tail[pt] + 1 + 2*f
+		words[off] = inK[i]
+		words[off+1] = inR[i]
+		p.fill[pt] = f + 1
+		processed++
+	}
+
+	a.Items = processed
+	a.Instr = processed * instrAppendRow
+	a.SeqBytes = processed * 8
+	a.Rand[device.RegionPartition] = processed * 2
+	a.AtomicOps = processed
+	a.AtomicTargets = int64(len(p.counts))
+	st := la.Stats()
+	a.AllocAtomics += st.GlobalAtomics
+	a.LocalOps += st.LocalOps
+	return a
+}

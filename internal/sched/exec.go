@@ -16,6 +16,20 @@ type Exec struct {
 	// results moved between devices by ratio changes, and phase inputs and
 	// outputs, are charged bus transfers (paper Sec. 5.1).
 	PCIe *mem.PCIe
+	// Pool, when non-nil, executes steps that provide a ParKernel across
+	// the pool's workers. The simulated timings are identical with and
+	// without a pool of any size for such steps only when the kernels keep
+	// their decomposition worker-independent; the stock kernels do.
+	Pool *Pool
+}
+
+// runKernel dispatches one device's share of a step, through the parallel
+// kernel when both a pool and a ParKernel are available.
+func (e *Exec) runKernel(st Step, d *device.Device, lo, hi int) device.Acct {
+	if e.Pool != nil && st.ParKernel != nil {
+		return st.ParKernel(d, lo, hi, e.Pool)
+	}
+	return st.Kernel(d, lo, hi)
 }
 
 // New returns an executor over the coupled A8-3870K devices.
@@ -51,11 +65,11 @@ func (e *Exec) Run(s Series, ratios Ratios) (Result, error) {
 		sr.ID = st.ID
 		sr.Ratio = r
 		if split > 0 {
-			sr.CPUAcct = st.Kernel(e.CPU, 0, split)
+			sr.CPUAcct = e.runKernel(st, e.CPU, 0, split)
 			sr.CPUNS = e.CPU.TimeNS(sr.CPUAcct, e.Env(st.ID, e.CPU))
 		}
 		if split < s.Items {
-			sr.GPUAcct = st.Kernel(e.GPU, split, s.Items)
+			sr.GPUAcct = e.runKernel(st, e.GPU, split, s.Items)
 			sr.GPUNS = e.GPU.TimeNS(sr.GPUAcct, e.Env(st.ID, e.GPU))
 		}
 

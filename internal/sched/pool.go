@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"apujoin/internal/device"
+)
+
+// Pool is the morsel-driven parallel execution runtime: a fixed set of host
+// worker goroutines that execute kernel ranges split into cache-sized
+// morsels (or structure-ownership shards) concurrently.
+//
+// The cardinal rule is that the work DECOMPOSITION is a pure function of
+// the data — morsel grids and shard counts never depend on the worker
+// count — and every piece's device.Acct is a pure function of its piece.
+// Worker count then only decides which goroutine executes which piece, so
+// the merged accounting (and with it every simulated time) is bit-identical
+// between Workers=1 and Workers=N; parallelism changes wall-clock, not the
+// model.
+type Pool struct {
+	workers int
+}
+
+// MorselItems is the number of tuples per range morsel: 16Ki tuples keep a
+// morsel's streaming footprint (a few int32 arrays) around the shared-L2
+// size. It is a multiple of the GPU wavefront size, so wavefront grouping
+// inside a morsel coincides with the grouping of an unsplit range and
+// divergence accounting is unchanged by morselization.
+const MorselItems = 1 << 14
+
+// DefaultShards is the number of ownership shards insert-style kernels are
+// split into. It is a balance point: more shards smooth skew, but every
+// shard scans the whole range for its tuples. Fixed (worker-independent) by
+// the determinism rule.
+const DefaultShards = 16
+
+// NewPool returns a pool of the given size; workers <= 0 selects
+// GOMAXPROCS. A 1-worker pool executes the same decomposition inline.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach executes fn(i) for every i in [0,n), distributing indices over
+// the pool's workers dynamically, and returns when all calls have finished.
+// The completion barrier establishes the happens-before edge kernels rely
+// on between parallel steps.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MergeAccts reduces per-piece accounting records into the record of the
+// whole range. All counters sum except AtomicTargets: the pieces contend on
+// the same target set (the table's buckets, a phase's key nodes), so the
+// target spread of the merged batch is the largest any piece reported, not
+// the sum — summing would understate contention in the device model's
+// serialization term.
+func MergeAccts(accts []device.Acct) device.Acct {
+	var out device.Acct
+	var targets int64
+	for _, a := range accts {
+		if a.AtomicTargets > targets {
+			targets = a.AtomicTargets
+		}
+		a.AtomicTargets = 0
+		out.Add(a)
+	}
+	out.AtomicTargets = targets
+	return out
+}
+
+// MapRange splits [lo,hi) into the fixed MorselItems grid, executes fn over
+// the morsels on the pool, and merges the per-morsel records in grid order.
+func (p *Pool) MapRange(lo, hi int, fn func(mlo, mhi int) device.Acct) device.Acct {
+	n := hi - lo
+	if n <= 0 {
+		return device.Acct{}
+	}
+	m := (n + MorselItems - 1) / MorselItems
+	accts := make([]device.Acct, m)
+	p.ForEach(m, func(i int) {
+		mlo := lo + i*MorselItems
+		mhi := mlo + MorselItems
+		if mhi > hi {
+			mhi = hi
+		}
+		accts[i] = fn(mlo, mhi)
+	})
+	return MergeAccts(accts)
+}
+
+// MapShards executes fn once per ownership shard on the pool and merges the
+// per-shard records in shard order. Kernels use it when tuples must be
+// routed by structure ownership (hash bucket or partition segment) rather
+// than split by range.
+func (p *Pool) MapShards(shards int, fn func(shard int) device.Acct) device.Acct {
+	if shards <= 0 {
+		return device.Acct{}
+	}
+	accts := make([]device.Acct, shards)
+	p.ForEach(shards, func(i int) { accts[i] = fn(i) })
+	return MergeAccts(accts)
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"apujoin/internal/device"
+)
+
+func TestPoolForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 64} {
+		p := NewPool(workers)
+		const n = 1000
+		var hits [n]int32
+		p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("default pool size %d", w)
+	}
+	if w := NewPool(5).Workers(); w != 5 {
+		t.Fatalf("pool size %d, want 5", w)
+	}
+}
+
+// TestMapRangeGridIsWorkerIndependent checks the determinism contract at
+// the pool level: the morsel grid, and therefore the merged accounting, is
+// a function of the range alone.
+func TestMapRangeGridIsWorkerIndependent(t *testing.T) {
+	kernel := func(mlo, mhi int) device.Acct {
+		var a device.Acct
+		a.Items = int64(mhi - mlo)
+		a.Instr = int64(mlo) // encodes grid positions into the merge
+		a.AtomicTargets = 77
+		return a
+	}
+	lo, hi := 129, 100000
+	var ref device.Acct
+	for i, workers := range []int{1, 2, 8} {
+		got := NewPool(workers).MapRange(lo, hi, kernel)
+		if got.Items != int64(hi-lo) {
+			t.Fatalf("workers=%d: items %d, want %d", workers, got.Items, hi-lo)
+		}
+		if got.AtomicTargets != 77 {
+			t.Fatalf("workers=%d: targets %d, want max rule 77", workers, got.AtomicTargets)
+		}
+		if i == 0 {
+			ref = got
+		} else if got != ref {
+			t.Fatalf("workers=%d: acct %+v differs from single-worker %+v", workers, got, ref)
+		}
+	}
+}
+
+func TestMapRangeMorselsAreWavefrontAligned(t *testing.T) {
+	if MorselItems%64 != 0 {
+		t.Fatalf("MorselItems %d not a multiple of the wavefront size", MorselItems)
+	}
+	var starts []int
+	NewPool(1).MapRange(0, 3*MorselItems+5, func(mlo, mhi int) device.Acct {
+		starts = append(starts, mlo)
+		return device.Acct{}
+	})
+	want := []int{0, MorselItems, 2 * MorselItems, 3 * MorselItems}
+	if len(starts) != len(want) {
+		t.Fatalf("morsel starts %v", starts)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("morsel starts %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestMergeAcctsTargetRule(t *testing.T) {
+	a := device.Acct{AtomicOps: 5, AtomicTargets: 10}
+	b := device.Acct{AtomicOps: 7, AtomicTargets: 30}
+	m := MergeAccts([]device.Acct{a, b})
+	if m.AtomicOps != 12 || m.AtomicTargets != 30 {
+		t.Fatalf("merge %+v: want ops 12, targets 30", m)
+	}
+}

@@ -60,6 +60,13 @@ type Kernel func(d *device.Device, lo, hi int) device.Acct
 // completes on both devices.
 type Barrier func()
 
+// ParKernel executes the real work of one step over items [lo,hi) like a
+// Kernel, but decomposes the range over the pool's workers internally
+// (range morsels for streaming steps, ownership shards for insert steps).
+// Implementations must keep the decomposition worker-independent so the
+// returned accounting is identical for any pool size.
+type ParKernel func(d *device.Device, lo, hi int, p *Pool) device.Acct
+
 // Step is one data-parallel step of a series.
 type Step struct {
 	ID StepID
@@ -68,6 +75,11 @@ type Step struct {
 	// intermediates on the discrete architecture.
 	OutBytesPerItem int64
 	Kernel          Kernel
+	// ParKernel, when non-nil, replaces Kernel on executors carrying a
+	// worker pool. Steps without one (host barriers aside, e.g. the
+	// grouped-execution kernels whose processing order is itself the
+	// optimization) always run single-stream.
+	ParKernel ParKernel
 	// After, if non-nil, runs on the host once the step has completed.
 	After Barrier
 }
