@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-json lint fmt vet check
 
 all: build
 
@@ -17,6 +17,23 @@ race:
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkParallelSpeedup|BenchmarkJoin' -benchmem .
 
+# Machine-readable benchmark artifacts: the parallel-speedup and
+# service-throughput trajectories CI archives on every run.
+bench-json:
+	$(GO) build -o /tmp/apujoin-benchjson ./cmd/benchjson
+	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | /tmp/apujoin-benchjson > BENCH_parallel.json
+	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | /tmp/apujoin-benchjson > BENCH_service.json
+	@echo "wrote BENCH_parallel.json BENCH_service.json"
+
+# Static analysis beyond vet. CI installs staticcheck; locally the target
+# degrades to a notice when the binary is absent (no network assumption).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -27,4 +44,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in the same order.
-check: fmt vet build race
+check: fmt vet lint build race

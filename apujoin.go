@@ -27,6 +27,8 @@
 package apujoin
 
 import (
+	"context"
+
 	"apujoin/internal/core"
 	"apujoin/internal/mem"
 	"apujoin/internal/rel"
@@ -49,6 +51,19 @@ const (
 	HighSkew = rel.HighSkew
 )
 
+// ParseAlgo parses "shj" | "phj" (empty = SHJ).
+func ParseAlgo(s string) (Algo, error) { return core.ParseAlgo(s) }
+
+// ParseScheme parses "cpu" | "gpu" | "ol" | "dd" | "pl" | "basicunit" |
+// "coarsepl" (empty = PL).
+func ParseScheme(s string) (Scheme, error) { return core.ParseScheme(s) }
+
+// ParseArch parses "coupled" | "discrete" (empty = Coupled).
+func ParseArch(s string) (Arch, error) { return core.ParseArch(s) }
+
+// ParseDistribution parses "uniform" | "low" | "high" (empty = Uniform).
+func ParseDistribution(s string) (Distribution, error) { return rel.ParseDistribution(s) }
+
 // Options configures a join run; the zero value is a coupled-architecture
 // SHJ with the cost-model-tuned PL scheme disabled fields defaulted.
 type Options = core.Options
@@ -59,6 +74,14 @@ type Result = core.Result
 
 // ExternalResult reports a join larger than the zero-copy buffer.
 type ExternalResult = core.ExternalResult
+
+// Algo selects the join algorithm; Scheme the co-processing scheme; Arch
+// the architecture.
+type (
+	Algo   = core.Algo
+	Scheme = core.Scheme
+	Arch   = core.Arch
+)
 
 // Algorithms.
 const (
@@ -98,10 +121,22 @@ func Join(r, s Relation, opt Options) (*Result, error) {
 	return core.Run(r, s, opt)
 }
 
+// JoinCtx is Join with cancellation: a cancelled context aborts the join at
+// the next step boundary. Join is re-entrant; any number of joins may run
+// concurrently (see internal/service for the multi-query service layer).
+func JoinCtx(ctx context.Context, r, s Relation, opt Options) (*Result, error) {
+	return core.RunCtx(ctx, r, s, opt)
+}
+
 // JoinExternal joins relations whose footprint exceeds the zero-copy
 // buffer, partitioning through the buffer in chunks (paper appendix).
 func JoinExternal(r, s Relation, opt Options) (*ExternalResult, error) {
 	return core.RunExternal(r, s, opt)
+}
+
+// JoinExternalCtx is JoinExternal with cancellation.
+func JoinExternalCtx(ctx context.Context, r, s Relation, opt Options) (*ExternalResult, error) {
+	return core.RunExternalCtx(ctx, r, s, opt)
 }
 
 // NaiveJoinCount is the reference match count (map-based), useful to

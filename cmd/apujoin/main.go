@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"log"
 	"runtime"
-	"strings"
 	"time"
 
 	"apujoin"
@@ -36,6 +35,20 @@ func main() {
 	workers := flag.Int("workers", 0, "host worker goroutines for the morsel runtime (0 = GOMAXPROCS); changes wall-clock only, never results or simulated times")
 	flag.Parse()
 
+	if *workers < 0 {
+		log.Fatalf("apujoin: -workers %d is negative; use 0 to select GOMAXPROCS (%d on this host)",
+			*workers, runtime.GOMAXPROCS(0))
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *nr <= 0 || *ns <= 0 {
+		log.Fatalf("apujoin: relation sizes must be positive (-r %d, -s %d)", *nr, *ns)
+	}
+	if *sel < 0 || *sel > 1 {
+		log.Fatalf("apujoin: -sel %v out of [0,1]", *sel)
+	}
+
 	opt := apujoin.Options{
 		Delta:          *delta,
 		SeparateTables: *separate,
@@ -47,62 +60,26 @@ func main() {
 		opt.Alloc.Strategy = alloc.Basic
 	}
 
-	switch strings.ToLower(*algoF) {
-	case "shj":
-		opt.Algo = apujoin.SHJ
-	case "phj":
-		opt.Algo = apujoin.PHJ
-	default:
-		log.Fatalf("unknown algo %q", *algoF)
+	var err error
+	if opt.Algo, err = apujoin.ParseAlgo(*algoF); err != nil {
+		log.Fatal(err)
 	}
-	switch strings.ToLower(*schemeF) {
-	case "cpu":
-		opt.Scheme = apujoin.CPUOnly
-	case "gpu":
-		opt.Scheme = apujoin.GPUOnly
-	case "ol":
-		opt.Scheme = apujoin.OL
-	case "dd":
-		opt.Scheme = apujoin.DD
-	case "pl":
-		opt.Scheme = apujoin.PL
-	case "basicunit":
-		opt.Scheme = apujoin.BasicUnit
-	case "coarsepl":
-		opt.Scheme = apujoin.CoarsePL
-	default:
-		log.Fatalf("unknown scheme %q", *schemeF)
+	if opt.Scheme, err = apujoin.ParseScheme(*schemeF); err != nil {
+		log.Fatal(err)
 	}
-	switch strings.ToLower(*archF) {
-	case "coupled":
-		opt.Arch = apujoin.Coupled
-	case "discrete":
-		opt.Arch = apujoin.Discrete
-	default:
-		log.Fatalf("unknown arch %q", *archF)
+	if opt.Arch, err = apujoin.ParseArch(*archF); err != nil {
+		log.Fatal(err)
 	}
-
-	var dist apujoin.Distribution
-	switch strings.ToLower(*skew) {
-	case "uniform":
-		dist = apujoin.Uniform
-	case "low":
-		dist = apujoin.LowSkew
-	case "high":
-		dist = apujoin.HighSkew
-	default:
-		log.Fatalf("unknown skew %q", *skew)
+	dist, err := apujoin.ParseDistribution(*skew)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	r := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}.Build()
 	s := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}.Probe(r, *sel)
 
 	hostLine := func(wall time.Duration) {
-		w := *workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
-		fmt.Printf("host: %v wall-clock with %d worker(s)\n", wall.Round(time.Microsecond), w)
+		fmt.Printf("host: %v wall-clock with %d worker(s)\n", wall.Round(time.Microsecond), *workers)
 	}
 
 	start := time.Now()

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results as artifacts (BENCH_parallel.json, BENCH_service.json) and the
+// perf trajectory can be tracked across commits.
+//
+//	go test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem . | benchjson > BENCH_parallel.json
+//
+// It fails (exit 1) when no benchmark lines are found, so a renamed or
+// broken benchmark breaks CI instead of silently uploading an empty file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the document written to stdout.
+type Report struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/workers=2-8   3   456789 ns/op   12.34 MB/s   100 B/op   5 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.NsPerOp = v
+				ok = true
+			}
+		case "MB/s":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.MBPerS = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.AllocsPerOp = v
+			}
+		}
+	}
+	return b, ok
+}
+
+func main() {
+	report := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Benchmarks:    []Benchmark{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkParallelSpeedup/workers=2-8   \t       3\t  456789 ns/op\t  12.34 MB/s\t     100 B/op\t       5 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkParallelSpeedup/workers=2-8" || b.Runs != 3 {
+		t.Fatalf("name/runs: %+v", b)
+	}
+	if b.NsPerOp != 456789 || b.MBPerS != 12.34 || b.BytesPerOp != 100 || b.AllocsPerOp != 5 {
+		t.Fatalf("metrics: %+v", b)
+	}
+
+	b, ok = parseLine("BenchmarkServiceThroughput-8  1  98765432 ns/op")
+	if !ok || b.NsPerOp != 98765432 {
+		t.Fatalf("minimal line: ok=%v %+v", ok, b)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tapujoin\t1.234s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as benchmark", line)
+		}
+	}
+}

@@ -96,8 +96,8 @@ func (s *Stats) Add(t Stats) {
 type Arena struct {
 	cfg        Config
 	words      []int32
-	next       int64 // bumped atomically by Grab, plainly by Alloc
-	blockLeft  int   // words remaining in the current block (Block strategy)
+	next       atomic.Int64 // bumped by Grab (concurrent) and Alloc (serial)
+	blockLeft  int          // words remaining in the current block (Block strategy)
 	blockWords int
 	stats      Stats
 	statsMu    sync.Mutex // guards stats folds from closing Locals
@@ -125,7 +125,7 @@ func (a *Arena) Config() Config { return a.cfg }
 func (a *Arena) Stats() Stats { return a.stats }
 
 // Used returns the number of words handed out (including block waste).
-func (a *Arena) Used() int { return int(atomic.LoadInt64(&a.next)) }
+func (a *Arena) Used() int { return int(a.next.Load()) }
 
 // Cap returns the arena capacity in words.
 func (a *Arena) Cap() int { return len(a.words) }
@@ -162,7 +162,7 @@ func (a *Arena) Alloc(n int) int32 {
 			// Grab a fresh block: one global atomic; the remainder of the
 			// previous block is wasted.
 			a.stats.WastedWords += int64(a.blockLeft)
-			a.next += int64(a.blockLeft)
+			a.next.Add(int64(a.blockLeft))
 			a.blockLeft = a.blockWords
 			a.stats.GlobalAtomics++
 		}
@@ -170,9 +170,9 @@ func (a *Arena) Alloc(n int) int32 {
 		a.stats.LocalOps++
 	}
 
-	off := a.next
+	off := a.next.Load()
 	a.ensure(int(off) + n)
-	a.next = off + int64(n)
+	a.next.Store(off + int64(n))
 	return int32(off)
 }
 
@@ -186,7 +186,7 @@ func (a *Arena) Grab(n int) int32 {
 	if n <= 0 {
 		panic(fmt.Sprintf("alloc: non-positive grab %d", n))
 	}
-	end := atomic.AddInt64(&a.next, int64(n))
+	end := a.next.Add(int64(n))
 	if end > int64(len(a.words)) {
 		panic(fmt.Sprintf("alloc: arena exhausted during parallel phase (%d of %d words); pre-size the arena", end, len(a.words)))
 	}
@@ -216,7 +216,7 @@ func (a *Arena) GroupGrabs(groups int) {
 
 // Reset forgets all allocations but keeps capacity and configuration.
 func (a *Arena) Reset() {
-	a.next = 0
+	a.next.Store(0)
 	a.blockLeft = 0
 	a.stats = Stats{}
 	for i := range a.words {

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"apujoin/internal/alloc"
 	"apujoin/internal/cost"
@@ -91,6 +92,56 @@ func (a Arch) String() string {
 	return "discrete"
 }
 
+// ParseAlgo parses the CLI/API name of an algorithm; the empty string
+// selects SHJ. Shared by cmd/apujoin flags and the apujoind request
+// decoder so the accepted vocabulary cannot drift.
+func ParseAlgo(s string) (Algo, error) {
+	switch strings.ToLower(s) {
+	case "", "shj":
+		return SHJ, nil
+	case "phj":
+		return PHJ, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algo %q (shj | phj)", s)
+	}
+}
+
+// ParseScheme parses the CLI/API name of a co-processing scheme; the empty
+// string selects PL.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(s) {
+	case "cpu":
+		return CPUOnly, nil
+	case "gpu":
+		return GPUOnly, nil
+	case "ol":
+		return OL, nil
+	case "dd":
+		return DD, nil
+	case "", "pl":
+		return PL, nil
+	case "basicunit":
+		return BasicUnit, nil
+	case "coarsepl":
+		return CoarsePL, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %q (cpu | gpu | ol | dd | pl | basicunit | coarsepl)", s)
+	}
+}
+
+// ParseArch parses the CLI/API name of an architecture; the empty string
+// selects Coupled.
+func ParseArch(s string) (Arch, error) {
+	switch strings.ToLower(s) {
+	case "", "coupled":
+		return Coupled, nil
+	case "discrete":
+		return Discrete, nil
+	default:
+		return 0, fmt.Errorf("core: unknown arch %q (coupled | discrete)", s)
+	}
+}
+
 // Options configures a join run. The zero value plus R and S is a valid
 // coupled-architecture SHJ-PL configuration; SetDefaults fills the rest.
 type Options struct {
@@ -105,11 +156,20 @@ type Options struct {
 	SeparateTables bool
 
 	// Workers is the number of host goroutines the morsel-driven runtime
-	// uses to execute kernel ranges concurrently; 0 selects GOMAXPROCS.
-	// The work decomposition is independent of the worker count, so match
-	// counts and every simulated time are identical for any Workers value
-	// — parallelism changes host wall-clock only.
+	// uses to execute kernel ranges concurrently; 0 selects GOMAXPROCS and
+	// negative values are rejected by Validate. The work decomposition is
+	// independent of the worker count, so match counts and every simulated
+	// time are identical for any Workers value — parallelism changes host
+	// wall-clock only. Ignored when Pool is set.
 	Workers int
+
+	// Pool, when non-nil, is a resident worker pool shared across runs —
+	// the multi-query service layer (internal/service) injects one so
+	// concurrent queries draw from the same fixed set of host workers.
+	// When nil, the run creates a transient pool of Workers goroutines and
+	// closes it on return. Sharing a pool never changes results: the work
+	// decomposition is per-query and worker-independent.
+	Pool *sched.Pool
 
 	// Alloc configures the software memory allocator (Sec. 3.3).
 	Alloc alloc.Config
@@ -210,6 +270,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Delta < 0 || o.Delta > 1 {
 		return fmt.Errorf("core: delta %v out of (0,1]", o.Delta)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d (0 selects GOMAXPROCS)", o.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"apujoin/internal/rel"
+)
+
+// TestRunCtxCancelled checks cancellation is honored on every executor
+// path: the step-series executor (PL), the BasicUnit chunk loop, and the
+// external-join chunk/pair loops.
+func TestRunCtxCancelled(t *testing.T) {
+	r := rel.Gen{N: 20000, Seed: 41}.Build()
+	s := rel.Gen{N: 20000, Seed: 42}.Probe(r, 1.0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []Options{
+		{Algo: PHJ, Scheme: PL},
+		{Algo: SHJ, Scheme: BasicUnit},
+	}
+	for _, opt := range cases {
+		opt.Delta = 0.25
+		opt.PilotItems = 1024
+		if _, err := RunCtx(ctx, r, s, opt); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v-%v: err %v, want context.Canceled", opt.Algo, opt.Scheme, err)
+		}
+	}
+
+	ext := Options{Algo: SHJ, Scheme: PL, Delta: 0.25, PilotItems: 1024}
+	ext.SetDefaults()
+	ext.ZeroCopy.Capacity = 1 << 18
+	if _, err := RunExternalCtx(ctx, r, s, ext); !errors.Is(err, context.Canceled) {
+		t.Errorf("external: err %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apujoin/internal/alloc"
@@ -37,9 +38,22 @@ type ExternalResult struct {
 // copied out to system memory and linked, and each partition pair is then
 // joined with the configured in-buffer algorithm (opt.Algo / opt.Scheme).
 func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
+	return RunExternalCtx(context.Background(), r, s, opt)
+}
+
+// RunExternalCtx is RunExternal with cancellation, checked at chunk and
+// partition-pair boundaries. When no pool is injected, one transient pool
+// serves every per-pair sub-join rather than each sub-join spawning its
+// own.
+func RunExternalCtx(ctx context.Context, r, s rel.Relation, opt Options) (*ExternalResult, error) {
 	opt.SetDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.Pool == nil {
+		pool := sched.NewPool(opt.Workers)
+		defer pool.Close()
+		opt.Pool = pool
 	}
 	if err := r.Validate(); err != nil {
 		return nil, fmt.Errorf("core: build relation: %w", err)
@@ -75,6 +89,7 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 	env := &envState{cache: opt.Cache, parts: 1, shared: true,
 		partitionStreams: int64(1<<outerBits) * chunkBytes, scratchPressure: 512 << 10}
 	exec := sched.New(env.envFor)
+	exec.Ctx = ctx
 	_ = cpu
 	_ = gpu
 
@@ -82,10 +97,13 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 	// the zero-copy buffer, partitioned there with the usual n1..n3 steps
 	// (DD co-processing with the paper's partition-phase ratio), and the
 	// intermediate partitions are copied back out to system memory.
-	partitionRel := func(in rel.Relation) rel.Relation {
+	partitionRel := func(in rel.Relation) (rel.Relation, error) {
 		n := in.Len()
 		out := rel.Relation{Keys: make([]int32, 0, n), RIDs: make([]int32, 0, n)}
 		for lo := 0; lo < n; lo += res.ChunkTuples {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			hi := lo + res.ChunkTuples
 			if hi > n {
 				hi = n
@@ -107,9 +125,10 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 				},
 			}
 			pres, err := exec.Run(series, sched.Uniform(0.25, 3))
-			if err == nil {
-				res.PartitionNS += pres.TotalNS
+			if err != nil {
+				return out, err
 			}
+			res.PartitionNS += pres.TotalNS
 			buf := rel.Relation{Keys: make([]int32, cn), RIDs: make([]int32, cn)}
 			_, ga := pass.Gather(buf)
 			res.PartitionNS += exec.CPU.TimeNS(ga, env.envFor(sched.N3, exec.CPU))
@@ -118,7 +137,7 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 			out.Keys = append(out.Keys, buf.Keys...)
 			out.RIDs = append(out.RIDs, buf.RIDs...)
 		}
-		return out
+		return out, nil
 	}
 
 	// gatherPartition collects partition p's tuples across all chunks
@@ -135,8 +154,14 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 		return out
 	}
 
-	pr := partitionRel(r)
-	ps := partitionRel(s)
+	pr, err := partitionRel(r)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := partitionRel(s)
+	if err != nil {
+		return nil, err
+	}
 
 	// Join each partition pair with the in-buffer algorithm, skipping the
 	// low outerBits hash bits every key in the pair shares.
@@ -152,7 +177,7 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 		}
 		res.DataCopyNS += mem.CopyNS(rp.Bytes() + sp.Bytes()) // pair into buffer
 
-		pres, err := Run(rp, sp, sub)
+		pres, err := RunCtx(ctx, rp, sp, sub)
 		if err != nil {
 			return nil, fmt.Errorf("core: external pair %d: %w", p, err)
 		}

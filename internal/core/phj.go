@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"apujoin/internal/alloc"
 	"apujoin/internal/cost"
 	"apujoin/internal/device"
@@ -84,7 +86,10 @@ func (rn *runner) partitionPhase(res *Result, exec *sched.Exec, model *cost.Mode
 			}
 
 			if opt.Scheme == BasicUnit {
-				bu := exec.RunBasicUnit(series, opt.CPUChunk, opt.GPUChunk)
+				bu, err := exec.RunBasicUnit(series, opt.CPUChunk, opt.GPUChunk)
+				if err != nil {
+					return err
+				}
 				res.PartitionNS += bu.TotalNS
 				if relIdx == 0 && shift == opt.HashShift {
 					res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
@@ -179,7 +184,7 @@ func (rn *runner) coarsePairKernel(d *device.Device, lo, hi int) device.Acct {
 // The scheduling profile for the single coarse step is synthesized from the
 // pilot's per-tuple build and probe profiles scaled by the average pair
 // population, so the ratio choice needs no side-effecting probe run.
-func (rn *runner) coarseJoin(res *Result, model *cost.Model) error {
+func (rn *runner) coarseJoin(ctx context.Context, res *Result, model *cost.Model) error {
 	pairBytes := int64(0)
 	if rn.parts > 0 {
 		pairBytes = (rn.r.Bytes() + rn.s.Bytes() + estimateTableBytes(rn.r.Len(), rn.parts*rn.bucketsPerPart)) / int64(rn.parts)
@@ -194,7 +199,7 @@ func (rn *runner) coarseJoin(res *Result, model *cost.Model) error {
 		Items: rn.parts,
 		Steps: []sched.Step{{ID: sched.P3, Kernel: rn.coarsePairKernel}},
 	}
-	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor}
+	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor, Ctx: ctx}
 
 	ratio, est := model.OptimizeDD(prof, rn.parts, rn.opt.Delta)
 	ratios := sched.Uniform(ratio, 1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,6 +19,17 @@ var ErrExceedsZeroCopy = errors.New("core: data exceeds zero-copy buffer; use Ru
 // Run executes one hash join under the configured algorithm, scheme and
 // architecture, returning the exact match count and the simulated timing.
 func Run(r, s rel.Relation, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), r, s, opt)
+}
+
+// RunCtx is Run with cancellation: a cancelled context aborts the join at
+// the next step boundary with the context's error. Run is re-entrant — it
+// keeps no package-level state, every run owns its arenas and intermediate
+// arrays, and the worker pool is either injected (Options.Pool, shared by
+// the multi-query service layer) or transient to the call — so any number
+// of runs may execute concurrently, each producing bit-identical results to
+// the same run executed alone.
+func RunCtx(ctx context.Context, r, s rel.Relation, opt Options) (*Result, error) {
 	opt.SetDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -53,10 +65,14 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 	defer opt.ZeroCopy.Free(foot)
 
 	rn := newRunner(r, s, opt)
-	rn.pool = sched.NewPool(opt.Workers)
+	rn.pool = opt.Pool
+	if rn.pool == nil {
+		rn.pool = sched.NewPool(opt.Workers)
+		defer rn.pool.Close()
+	}
 	res := &Result{Algo: opt.Algo, Scheme: opt.Scheme, Arch: opt.Arch, ZeroCopyBytes: foot}
 
-	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor, Pool: rn.pool}
+	exec := &sched.Exec{CPU: rn.cpu, GPU: rn.gpu, Env: rn.env.envFor, Pool: rn.pool, Ctx: ctx}
 	var pcie mem.PCIe
 	if opt.Arch == Discrete {
 		pcie = mem.NewPCIe()
@@ -78,7 +94,7 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 	}
 
 	if opt.Scheme == CoarsePL {
-		if err := rn.coarseJoin(res, model); err != nil {
+		if err := rn.coarseJoin(ctx, res, model); err != nil {
 			return nil, err
 		}
 		res.Matches = rn.out.Pairs
@@ -102,7 +118,10 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 	// Build phase.
 	buildSer := rn.buildSeries()
 	if opt.Scheme == BasicUnit {
-		bu := exec.RunBasicUnit(buildSer, opt.CPUChunk, opt.GPUChunk)
+		bu, err := exec.RunBasicUnit(buildSer, opt.CPUChunk, opt.GPUChunk)
+		if err != nil {
+			return nil, err
+		}
 		res.BuildNS = bu.TotalNS
 		res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
 		res.Ratios.Build = sched.Uniform(bu.CPUShare, len(buildSer.Steps))
@@ -152,7 +171,10 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 	// Probe phase.
 	probeSer := rn.probeSeries()
 	if opt.Scheme == BasicUnit {
-		bu := exec.RunBasicUnit(probeSer, opt.CPUChunk, opt.GPUChunk)
+		bu, err := exec.RunBasicUnit(probeSer, opt.CPUChunk, opt.GPUChunk)
+		if err != nil {
+			return nil, err
+		}
 		res.ProbeNS = bu.TotalNS
 		res.BasicUnitShares = append(res.BasicUnitShares, bu.CPUShare)
 		res.Ratios.Probe = sched.Uniform(bu.CPUShare, len(probeSer.Steps))

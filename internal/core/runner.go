@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"apujoin/internal/alloc"
 	"apujoin/internal/device"
@@ -280,12 +279,16 @@ func (rn *runner) probeSeries() sched.Series {
 						priv.Arena = alloc.New(rn.opt.Alloc, 4*(mhi-mlo)+64)
 					}
 					a := rn.tableFor(d).P4(d, rids, rn.nodeS, &priv, mlo, mhi, nil)
-					atomic.AddInt64(&rn.out.Pairs, priv.Pairs)
+					// Fold the morsel-private output under the mutex (once
+					// per morsel): Out.Pairs is a plain field mid-struct,
+					// not guaranteed 64-bit aligned for atomics on 32-bit
+					// platforms.
+					rn.outMu.Lock()
+					rn.out.Pairs += priv.Pairs
 					if priv.Arena != nil {
-						rn.outMu.Lock()
 						rn.outExtra.Add(priv.Arena.Stats())
-						rn.outMu.Unlock()
 					}
+					rn.outMu.Unlock()
 					return a
 				})
 			},

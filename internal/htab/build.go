@@ -143,8 +143,8 @@ func (t *Table) B4(d *device.Device, rids, node []int32, lo, hi int) device.Acct
 	a.SeqBytes = n * 8 // rid, node ref
 	a.Rand[device.RegionHashTable] = n * 2
 	a.AtomicOps = n
-	if t.numKeys > 0 {
-		a.AtomicTargets = t.numKeys
+	if nk := t.numKeys.Load(); nk > 0 {
+		a.AtomicTargets = nk
 	} else {
 		a.AtomicTargets = 1
 	}

@@ -113,7 +113,7 @@ func (t *Table) B3Shard(d *device.Device, keys, bucket, node []int32, lo, hi int
 			words[kn+keyOffRIDHead] = nilRef
 			words[kn+keyOffNext] = t.Head[b]
 			t.Head[b] = kn
-			atomic.AddInt64(&t.numKeys, 1)
+			t.numKeys.Add(1)
 			a.Instr += instrCreateNode
 			a.AtomicOps++ // latched head swap on the bucket
 		}
@@ -160,7 +160,7 @@ func (t *Table) B4Shard(d *device.Device, rids, bucket, node []int32, lo, hi int
 	a.SeqBytes = processed * 8
 	a.Rand[device.RegionHashTable] = processed * 2
 	a.AtomicOps = processed
-	if nk := atomic.LoadInt64(&t.numKeys); nk > 0 {
+	if nk := t.numKeys.Load(); nk > 0 {
 		a.AtomicTargets = nk
 	} else {
 		a.AtomicTargets = 1

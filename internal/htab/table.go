@@ -26,6 +26,7 @@ package htab
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"apujoin/internal/alloc"
 	"apujoin/internal/device"
@@ -68,7 +69,7 @@ type Table struct {
 	Head  []int32
 
 	arena   *alloc.Arena
-	numKeys int64 // distinct keys inserted (key nodes allocated)
+	numKeys atomic.Int64 // distinct keys inserted (key nodes allocated)
 	// bucketsPerPart is the segment width of a segmented table (see
 	// NewSeg); 0 for a flat table. segShift skips the hash bits the radix
 	// partitioning consumed.
@@ -110,7 +111,7 @@ func NewShifted(nBuckets int, hashShift uint, arena *alloc.Arena) *Table {
 func (t *Table) NBuckets() int { return t.nBuckets }
 
 // NumKeys returns the number of distinct keys inserted so far.
-func (t *Table) NumKeys() int64 { return t.numKeys }
+func (t *Table) NumKeys() int64 { return t.numKeys.Load() }
 
 // Arena returns the backing arena (shared with the caller for accounting).
 func (t *Table) Arena() *alloc.Arena { return t.arena }
@@ -131,7 +132,7 @@ func (t *Table) Reset() {
 		t.Head[i] = nilRef
 		t.Count[i] = 0
 	}
-	t.numKeys = 0
+	t.numKeys.Store(0)
 }
 
 // Validate walks the whole structure checking invariants: bucket counts
@@ -257,6 +258,6 @@ func (t *Table) newKeyNode(key int32, b int) int32 {
 	words[kn+keyOffRIDHead] = nilRef
 	words[kn+keyOffNext] = t.Head[b]
 	t.Head[b] = kn
-	t.numKeys++
+	t.numKeys.Add(1)
 	return kn
 }

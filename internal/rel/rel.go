@@ -13,6 +13,7 @@ package rel
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Relation is a column-oriented relation of (RID, Key) pairs.
@@ -73,6 +74,22 @@ func (d Distribution) String() string {
 		return "high-skew"
 	default:
 		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution parses the CLI/API name of a distribution ("uniform",
+// "low", "high"); the empty string selects Uniform. Shared by the command
+// front-ends so the accepted vocabulary cannot drift.
+func ParseDistribution(s string) (Distribution, error) {
+	switch strings.ToLower(s) {
+	case "", "uniform":
+		return Uniform, nil
+	case "low", "low-skew":
+		return LowSkew, nil
+	case "high", "high-skew":
+		return HighSkew, nil
+	default:
+		return 0, fmt.Errorf("rel: unknown skew %q (uniform | low | high)", s)
 	}
 }
 

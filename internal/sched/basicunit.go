@@ -1,6 +1,10 @@
 package sched
 
-import "apujoin/internal/device"
+import (
+	"fmt"
+
+	"apujoin/internal/device"
+)
 
 // BasicUnitResult reports a BasicUnit run: the appendix's coarse-grained
 // dynamic scheduling baseline, where whole chunks of tuples are assigned to
@@ -34,8 +38,9 @@ const BasicUnitChunkNS = 2500.0
 // The series must not contain mid-series host barriers whose results later
 // steps depend on (the n2→n3 prefix sum): BasicUnit is defined by the paper
 // for the build and probe operations, whose steps are per-tuple independent.
-// After hooks still run once at the end.
-func (e *Exec) RunBasicUnit(s Series, cpuChunk, gpuChunk int) BasicUnitResult {
+// After hooks still run once at the end. Like Run, a cancelled Exec.Ctx
+// aborts at the next chunk boundary with the context's error.
+func (e *Exec) RunBasicUnit(s Series, cpuChunk, gpuChunk int) (BasicUnitResult, error) {
 	if cpuChunk <= 0 {
 		cpuChunk = 1 << 14
 	}
@@ -48,6 +53,9 @@ func (e *Exec) RunBasicUnit(s Series, cpuChunk, gpuChunk int) BasicUnitResult {
 	var cpuItems, gpuItems int
 	next := 0
 	for next < s.Items {
+		if err := e.cancelled(); err != nil {
+			return BasicUnitResult{}, fmt.Errorf("series %s: %w", s.Name, err)
+		}
 		onCPU := cpuClock <= gpuClock
 		var chunk int
 		var dev *device.Device
@@ -95,5 +103,5 @@ func (e *Exec) RunBasicUnit(s Series, cpuChunk, gpuChunk int) BasicUnitResult {
 	if s.Items > 0 {
 		res.CPUShare = float64(cpuItems) / float64(s.Items)
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"apujoin/internal/device"
@@ -21,6 +22,24 @@ type Exec struct {
 	// without a pool of any size for such steps only when the kernels keep
 	// their decomposition worker-independent; the stock kernels do.
 	Pool *Pool
+	// Ctx, when non-nil, is checked at step boundaries: a cancelled context
+	// aborts the series with the context's error. Steps are never torn
+	// mid-kernel, so data structures stay consistent up to the completed
+	// step.
+	Ctx context.Context
+}
+
+// cancelled returns the context's error if the executor's context is done.
+func (e *Exec) cancelled() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.Ctx.Done():
+		return e.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // runKernel dispatches one device's share of a step, through the parallel
@@ -52,6 +71,9 @@ func (e *Exec) Run(s Series, ratios Ratios) (Result, error) {
 	res := Result{Name: s.Name, Steps: make([]StepResult, len(s.Steps))}
 
 	for i, st := range s.Steps {
+		if err := e.cancelled(); err != nil {
+			return Result{}, fmt.Errorf("series %s: %w", s.Name, err)
+		}
 		r := ratios[i]
 		split := int(r * float64(s.Items))
 		if split < 0 {

@@ -8,19 +8,36 @@ import (
 	"apujoin/internal/device"
 )
 
-// Pool is the morsel-driven parallel execution runtime: a fixed set of host
-// worker goroutines that execute kernel ranges split into cache-sized
-// morsels (or structure-ownership shards) concurrently.
+// Pool is the morsel-driven parallel execution runtime: a resident set of
+// host worker goroutines that execute kernel ranges split into cache-sized
+// morsels (or structure-ownership shards) concurrently. A pool outlives any
+// single join: the multi-query service layer creates one at startup and
+// submits morsel batches from many concurrent queries into it; stand-alone
+// runs create a transient pool per join and close it on return.
 //
 // The cardinal rule is that the work DECOMPOSITION is a pure function of
 // the data — morsel grids and shard counts never depend on the worker
-// count — and every piece's device.Acct is a pure function of its piece.
-// Worker count then only decides which goroutine executes which piece, so
-// the merged accounting (and with it every simulated time) is bit-identical
-// between Workers=1 and Workers=N; parallelism changes wall-clock, not the
-// model.
+// count or on what other queries share the pool — and every piece's
+// device.Acct is a pure function of its piece. Scheduling then only decides
+// which goroutine executes which piece when, so the merged accounting (and
+// with it every simulated time) is bit-identical between Workers=1,
+// Workers=N, and N queries interleaving on one pool; parallelism changes
+// wall-clock, not the model.
+//
+// Concurrency/fairness model: each ForEach forms a batch whose pieces are
+// claimed from a shared atomic cursor. The submitting goroutine always
+// participates in its own batch, so every query makes progress even when
+// the resident workers are saturated by other queries — no submission can
+// starve. Resident workers drain offered batches in FIFO order, which
+// interleaves concurrent queries at batch (step) granularity.
 type Pool struct {
 	workers int
+	// tasks carries batch-help closures to the resident workers; nil for
+	// 1-worker pools, which execute inline and own no goroutines.
+	tasks  chan func()
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
 }
 
 // MorselItems is the number of tuples per range morsel: 16Ki tuples keep a
@@ -36,52 +53,120 @@ const MorselItems = 1 << 14
 // the determinism rule.
 const DefaultShards = 16
 
-// NewPool returns a pool of the given size; workers <= 0 selects
-// GOMAXPROCS. A 1-worker pool executes the same decomposition inline.
+// NewPool returns a resident pool of the given size; workers <= 0 selects
+// GOMAXPROCS. A 1-worker pool executes the same decomposition inline on the
+// submitting goroutine and spawns nothing; larger pools start workers-1
+// helper goroutines (the submitter is the remaining executor) that live
+// until Close.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func(), 4*workers)
+		p.quit = make(chan struct{})
+		p.wg.Add(workers - 1)
+		for g := 0; g < workers-1; g++ {
+			go p.worker()
+		}
+	}
+	return p
 }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// Close stops the resident workers and waits for them to exit. Batches in
+// flight complete normally — their submitters drive them to completion even
+// with no workers left — and ForEach after Close degrades to inline
+// execution. Close is idempotent and safe to call concurrently.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	if !p.closed.CompareAndSwap(false, true) {
+		p.wg.Wait()
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			t()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// batch is one ForEach invocation: n pieces claimed from a shared cursor by
+// the submitter and any resident workers that picked up its help offers.
+type batch struct {
+	next int64 // atomic claim cursor
+	done int64 // atomic completed-piece count
+	n    int64
+	fn   func(i int)
+	fin  chan struct{} // closed when done == n
+}
+
+// run claims and executes pieces until the batch is exhausted. Stale help
+// offers (executed after the batch completed) claim nothing and return
+// immediately.
+func (b *batch) run() {
+	for {
+		i := atomic.AddInt64(&b.next, 1) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(int(i))
+		if atomic.AddInt64(&b.done, 1) == b.n {
+			close(b.fin)
+		}
+	}
+}
+
 // ForEach executes fn(i) for every i in [0,n), distributing indices over
-// the pool's workers dynamically, and returns when all calls have finished.
-// The completion barrier establishes the happens-before edge kernels rely
-// on between parallel steps.
+// the pool's resident workers dynamically, and returns when all calls have
+// finished. The completion barrier establishes the happens-before edge
+// kernels rely on between parallel steps. Safe for concurrent use by many
+// queries; the submitting goroutine always executes pieces itself, so
+// ForEach completes even on a saturated or closed pool.
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	w := p.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
+	if p == nil || p.tasks == nil || n == 1 || p.closed.Load() {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	b := &batch{n: int64(n), fn: fn, fin: make(chan struct{})}
+	// Offer help to at most workers-1 residents (the submitter is the
+	// final executor, keeping total concurrency at the pool size). A full
+	// offer queue means the residents are busy with other queries; the
+	// batch still completes through the submitter, and whichever resident
+	// frees up first drains the queue and joins in.
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
 	}
-	wg.Wait()
+offer:
+	for g := 0; g < helpers; g++ {
+		select {
+		case p.tasks <- b.run:
+		default:
+			break offer
+		}
+	}
+	b.run()
+	<-b.fin
 }
 
 // MergeAccts reduces per-piece accounting records into the record of the

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"apujoin/internal/device"
 )
@@ -18,15 +21,82 @@ func TestPoolForEachCoversAllIndices(t *testing.T) {
 				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
 			}
 		}
+		p.Close()
 	}
 }
 
 func TestPoolDefaultSize(t *testing.T) {
-	if w := NewPool(0).Workers(); w < 1 {
+	p := NewPool(0)
+	if w := p.Workers(); w < 1 {
 		t.Fatalf("default pool size %d", w)
 	}
-	if w := NewPool(5).Workers(); w != 5 {
+	p.Close()
+	p = NewPool(5)
+	if w := p.Workers(); w != 5 {
 		t.Fatalf("pool size %d, want 5", w)
+	}
+	p.Close()
+}
+
+// TestPoolSharedAcrossSubmitters is the resident-pool contract: many
+// goroutines submit batches into one pool concurrently, and every batch
+// completes with each index executed exactly once.
+func TestPoolSharedAcrossSubmitters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const submitters = 8
+	const n = 500
+	var wg sync.WaitGroup
+	errs := make(chan string, submitters)
+	for q := 0; q < submitters; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hits [n]int32
+			p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for _, h := range hits {
+				if h != 1 {
+					errs <- "batch index executed wrong number of times"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPoolCloseStopsWorkers checks that Close reclaims the resident
+// goroutines, is idempotent, and that ForEach still completes (inline)
+// afterwards.
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(8)
+	// Run something so the workers are demonstrably alive.
+	var count int64
+	p.ForEach(100, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("pre-close ForEach ran %d of 100", count)
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after Close: %d, want <= %d", g, before)
+	}
+
+	count = 0
+	p.ForEach(50, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 50 {
+		t.Fatalf("post-close ForEach ran %d of 50", count)
 	}
 }
 
@@ -44,7 +114,9 @@ func TestMapRangeGridIsWorkerIndependent(t *testing.T) {
 	lo, hi := 129, 100000
 	var ref device.Acct
 	for i, workers := range []int{1, 2, 8} {
-		got := NewPool(workers).MapRange(lo, hi, kernel)
+		p := NewPool(workers)
+		got := p.MapRange(lo, hi, kernel)
+		p.Close()
 		if got.Items != int64(hi-lo) {
 			t.Fatalf("workers=%d: items %d, want %d", workers, got.Items, hi-lo)
 		}
@@ -64,7 +136,9 @@ func TestMapRangeMorselsAreWavefrontAligned(t *testing.T) {
 		t.Fatalf("MorselItems %d not a multiple of the wavefront size", MorselItems)
 	}
 	var starts []int
-	NewPool(1).MapRange(0, 3*MorselItems+5, func(mlo, mhi int) device.Acct {
+	p := NewPool(1)
+	defer p.Close()
+	p.MapRange(0, 3*MorselItems+5, func(mlo, mhi int) device.Acct {
 		starts = append(starts, mlo)
 		return device.Acct{}
 	})

@@ -186,7 +186,10 @@ func TestUniformRatios(t *testing.T) {
 func TestBasicUnitCoversAllItems(t *testing.T) {
 	cov := newCoverage(3, 5000)
 	e := New(FixedEnv(device.UniformEnv(0.9)))
-	res := e.RunBasicUnit(fakeSeries(5000, 3, cov), 512, 1024)
+	res, err := e.RunBasicUnit(fakeSeries(5000, 3, cov), 512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkCoverage(t, cov, 5000)
 	if res.CPUChunks == 0 || res.GPUChunks == 0 {
 		t.Fatalf("both devices should receive chunks: %+v", res)

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+// BenchmarkServiceThroughput measures end-to-end query throughput of the
+// service layer: b.N PHJ-PL joins submitted through admission onto the
+// shared resident pool, MaxConcurrent in flight at a time. ns/op is host
+// wall-clock per query at service concurrency; the simulated numbers are
+// checked invariant against the first query. Its trajectory is recorded in
+// BENCH_service.json by `make bench-json` and the CI artifact.
+func BenchmarkServiceThroughput(b *testing.B) {
+	r := rel.Gen{N: 1 << 17, Seed: 1}.Build()
+	s := rel.Gen{N: 1 << 17, Seed: 2}.Probe(r, 1.0)
+	opt := core.Options{Algo: core.PHJ, Scheme: core.PL, Delta: 0.1, PilotItems: 1 << 13}
+
+	svc := New(Options{MaxConcurrent: 4, MaxQueue: 1 << 20})
+	defer svc.Close()
+
+	b.SetBytes(r.Bytes() + s.Bytes())
+	b.ResetTimer()
+
+	queries := make([]*Query, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		q, err := svc.Submit(context.Background(), r, s, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	var refMatches int64
+	var refSimNS float64
+	for _, q := range queries {
+		res, err := q.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if refMatches == 0 {
+			refMatches, refSimNS = res.Matches, res.TotalNS
+		} else if res.Matches != refMatches || res.TotalNS != refSimNS {
+			b.Fatalf("concurrency changed results: matches %d (want %d), simNS %.0f (want %.0f)",
+				res.Matches, refMatches, res.TotalNS, refSimNS)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package service is the multi-query join service layer: a long-lived
+// Service owns one resident sched.Pool shared by every query, an admission
+// layer that bounds how many queries execute and wait at once, and a
+// metrics surface aggregated across the service's lifetime.
+//
+// The determinism contract of the execution engine extends to the service:
+// a query's match count and every simulated time are bit-identical whether
+// it runs alone, serially after other queries, or interleaved with N
+// concurrent queries — only host wall-clock changes. This holds because
+// each query owns its arenas, intermediate arrays, device pair and
+// zero-copy buffer (nothing simulated is shared), while only the host
+// worker goroutines — which the device model never charges — are pooled.
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+)
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// ErrQueueFull reports that the admission queue is at capacity; the caller
+// should retry later (HTTP layers map it to 429/503).
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// Options configures a Service.
+type Options struct {
+	// Workers sizes the shared resident worker pool; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// MaxConcurrent bounds the queries executing simultaneously; <= 0
+	// defaults to 2. More concurrency overlaps host work but each admitted
+	// query's submitter goroutine competes for the same pool workers.
+	MaxConcurrent int
+	// MaxQueue bounds the queries waiting for admission; <= 0 defaults to
+	// 64. Submits beyond it fail fast with ErrQueueFull.
+	MaxQueue int
+	// KeepResults bounds how many finished queries stay pollable; <= 0
+	// defaults to 1024. The oldest finished queries are evicted first.
+	KeepResults int
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.KeepResults <= 0 {
+		o.KeepResults = 1024
+	}
+}
+
+// State is a query's lifecycle position.
+type State int
+
+const (
+	// Queued: submitted, waiting for an admission slot.
+	Queued State = iota
+	// Running: admitted, executing on the shared pool.
+	Running
+	// Done: finished successfully; the result is available.
+	Done
+	// Failed: finished with an error.
+	Failed
+	// Canceled: cancelled (by its context or by Close) before finishing.
+	Canceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// Query is one submitted join. All accessors are safe for concurrent use.
+type Query struct {
+	// ID is the service-assigned identifier, dense from 1 in submit order.
+	ID int64
+
+	mu       sync.Mutex
+	state    State
+	res      *core.Result
+	err      error
+	submit   time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// State returns the query's current lifecycle state.
+func (q *Query) State() State {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.state
+}
+
+// Cancel requests cancellation: a queued query is dropped, a running query
+// aborts at its next step boundary.
+func (q *Query) Cancel() { q.cancel() }
+
+// Done returns a channel closed when the query reaches a terminal state.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the query finishes or ctx is cancelled, returning the
+// result or the query's terminal error.
+func (q *Query) Wait(ctx context.Context) (*core.Result, error) {
+	select {
+	case <-q.done:
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return q.res, q.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Info is a point-in-time snapshot of a query for status surfaces.
+type Info struct {
+	ID        int64      `json:"id"`
+	State     string     `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// WallNS is host wall-clock from admission to finish (0 while queued
+	// or running).
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Matches and SimulatedNS are filled once the query is Done.
+	Matches     int64   `json:"matches,omitempty"`
+	SimulatedNS float64 `json:"simulated_ns,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Snapshot returns the query's current Info.
+func (q *Query) Snapshot() Info {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	info := Info{ID: q.ID, State: q.state.String(), Submitted: q.submit}
+	if !q.started.IsZero() {
+		t := q.started
+		info.Started = &t
+	}
+	if !q.finished.IsZero() {
+		t := q.finished
+		info.Finished = &t
+		if !q.started.IsZero() {
+			info.WallNS = q.finished.Sub(q.started).Nanoseconds()
+		}
+	}
+	if q.res != nil {
+		info.Matches = q.res.Matches
+		info.SimulatedNS = q.res.TotalNS
+	}
+	if q.err != nil {
+		info.Error = q.err.Error()
+	}
+	return info
+}
+
+// Result returns the finished query's result and error; ok is false while
+// the query has not reached a terminal state.
+func (q *Query) Result() (res *core.Result, err error, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state == Queued || q.state == Running {
+		return nil, nil, false
+	}
+	return q.res, q.err, true
+}
+
+// PhaseNS aggregates simulated per-phase time across completed queries.
+type PhaseNS struct {
+	Partition float64 `json:"partition_ns"`
+	Build     float64 `json:"build_ns"`
+	Probe     float64 `json:"probe_ns"`
+	Merge     float64 `json:"merge_ns"`
+	Transfer  float64 `json:"transfer_ns"`
+}
+
+// Stats is the service's metrics surface.
+type Stats struct {
+	Workers       int `json:"workers"`
+	MaxConcurrent int `json:"max_concurrent"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+
+	// Queued and Active are gauges: queries waiting for admission and
+	// queries currently executing.
+	Queued int64 `json:"queued"`
+	Active int64 `json:"active"`
+
+	// Matches and SimulatedNS sum over completed queries; WallNS sums host
+	// execution wall-clock (admission to finish).
+	Matches     int64   `json:"matches"`
+	SimulatedNS float64 `json:"simulated_ns"`
+	WallNS      int64   `json:"wall_ns"`
+	Phases      PhaseNS `json:"phases"`
+}
+
+// Service is a multi-query join service over one shared resident pool.
+type Service struct {
+	opt  Options
+	pool *sched.Pool
+	// sem holds one slot per concurrently executing query; acquisition
+	// order is the runtime's FIFO for blocked channel sends, which
+	// interleaves waiting queries fairly.
+	sem     chan struct{}
+	closing chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int64
+	queries map[int64]*Query
+	order   []int64 // submit order, for eviction and listing
+	stats   Stats
+
+	wg sync.WaitGroup
+}
+
+// New starts a service: the resident pool spins up immediately and lives
+// until Close.
+func New(opt Options) *Service {
+	opt.setDefaults()
+	s := &Service{
+		opt:     opt,
+		pool:    sched.NewPool(opt.Workers),
+		sem:     make(chan struct{}, opt.MaxConcurrent),
+		closing: make(chan struct{}),
+		queries: make(map[int64]*Query),
+	}
+	s.stats.Workers = s.pool.Workers()
+	s.stats.MaxConcurrent = opt.MaxConcurrent
+	return s
+}
+
+// Pool exposes the shared resident pool (for callers running joins outside
+// the admission layer but on the same workers).
+func (s *Service) Pool() *sched.Pool { return s.pool }
+
+// Submit enqueues one join R ⋈ S under the per-query options and returns
+// immediately. A free execution slot is claimed on the spot — a burst onto
+// an idle service is never rejected while capacity exists — otherwise the
+// query waits in the bounded queue. ctx cancels it while queued or
+// running. opt.Pool is overridden with the service's shared pool; every
+// other option is per-query (each query gets its own arenas and, when
+// opt.ZeroCopy is nil, its own zero-copy buffer — callers must not share
+// one ZeroCopy across concurrent submissions).
+func (s *Service) Submit(ctx context.Context, r, sr rel.Relation, opt core.Options) (*Query, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Immediate admission when a slot is free; only genuinely waiting
+	// queries count against (and are bounded by) the queue.
+	admitted := false
+	select {
+	case s.sem <- struct{}{}:
+		admitted = true
+	default:
+	}
+	if !admitted && s.stats.Queued >= int64(s.opt.MaxQueue) {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	qctx, cancel := context.WithCancel(ctx)
+	q := &Query{
+		ID:     s.nextID,
+		submit: time.Now(),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	if admitted {
+		q.state = Running
+		q.started = q.submit
+		s.stats.Active++
+	} else {
+		s.stats.Queued++
+	}
+	s.queries[q.ID] = q
+	s.order = append(s.order, q.ID)
+	s.evictLocked()
+	s.stats.Submitted++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	opt.Pool = s.pool
+	go s.run(qctx, q, r, sr, opt, admitted)
+	return q, nil
+}
+
+// run carries one query from admission through completion.
+func (s *Service) run(ctx context.Context, q *Query, r, sr rel.Relation, opt core.Options, admitted bool) {
+	defer s.wg.Done()
+	defer q.cancel()
+
+	if !admitted {
+		// Shutdown and cancellation win over a simultaneously free slot:
+		// check them first, and again after acquiring, because the
+		// blocking select picks uniformly among ready cases.
+		select {
+		case <-ctx.Done():
+			s.finish(q, nil, ctx.Err(), Canceled, time.Time{})
+			return
+		case <-s.closing:
+			s.finish(q, nil, ErrClosed, Canceled, time.Time{})
+			return
+		default:
+		}
+		select {
+		case s.sem <- struct{}{}:
+			select {
+			case <-s.closing:
+				<-s.sem
+				s.finish(q, nil, ErrClosed, Canceled, time.Time{})
+				return
+			default:
+			}
+		case <-ctx.Done():
+			s.finish(q, nil, ctx.Err(), Canceled, time.Time{})
+			return
+		case <-s.closing:
+			s.finish(q, nil, ErrClosed, Canceled, time.Time{})
+			return
+		}
+		started := time.Now()
+		q.mu.Lock()
+		q.state = Running
+		q.started = started
+		q.mu.Unlock()
+		s.mu.Lock()
+		s.stats.Queued--
+		s.stats.Active++
+		s.mu.Unlock()
+	}
+	// From here the slot is held and the query runs to completion even if
+	// Close is called.
+	defer func() { <-s.sem }()
+
+	q.mu.Lock()
+	started := q.started
+	q.mu.Unlock()
+
+	res, err := core.RunCtx(ctx, r, sr, opt)
+	switch {
+	case err == nil:
+		s.finish(q, res, nil, Done, started)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finish(q, nil, err, Canceled, started)
+	default:
+		s.finish(q, nil, err, Failed, started)
+	}
+}
+
+// finish moves a query to a terminal state and folds it into the metrics.
+// A zero started time means the query never left the queue.
+func (s *Service) finish(q *Query, res *core.Result, err error, st State, started time.Time) {
+	now := time.Now()
+	q.mu.Lock()
+	q.state = st
+	q.res = res
+	q.err = err
+	q.finished = now
+	q.mu.Unlock()
+	close(q.done)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if started.IsZero() {
+		s.stats.Queued--
+	} else {
+		s.stats.Active--
+		s.stats.WallNS += now.Sub(started).Nanoseconds()
+	}
+	switch st {
+	case Done:
+		s.stats.Completed++
+		s.stats.Matches += res.Matches
+		s.stats.SimulatedNS += res.TotalNS
+		s.stats.Phases.Partition += res.PartitionNS
+		s.stats.Phases.Build += res.BuildNS
+		s.stats.Phases.Probe += res.ProbeNS
+		s.stats.Phases.Merge += res.MergeNS
+		s.stats.Phases.Transfer += res.TransferNS
+	case Failed:
+		s.stats.Failed++
+	case Canceled:
+		s.stats.Canceled++
+	}
+}
+
+// evictLocked drops the oldest finished queries beyond the retention cap.
+// Queries still queued or running are never evicted.
+func (s *Service) evictLocked() {
+	excess := len(s.order) - s.opt.KeepResults
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		q := s.queries[id]
+		if excess > 0 && q != nil {
+			q.mu.Lock()
+			terminal := q.state == Done || q.state == Failed || q.state == Canceled
+			q.mu.Unlock()
+			if terminal {
+				delete(s.queries, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Query returns the query with the given ID, if still retained.
+func (s *Service) Query(id int64) (*Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	return q, ok
+}
+
+// Queries snapshots all retained queries in submit order.
+func (s *Service) Queries() []Info {
+	s.mu.Lock()
+	qs := make([]*Query, 0, len(s.order))
+	for _, id := range s.order {
+		if q, ok := s.queries[id]; ok {
+			qs = append(qs, q)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]Info, len(qs))
+	for i, q := range qs {
+		out[i] = q.Snapshot()
+	}
+	return out
+}
+
+// Stats snapshots the metrics surface.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close shuts the service down gracefully: new submissions are rejected
+// with ErrClosed, queries still waiting for admission are cancelled,
+// running queries finish normally, and the resident pool is stopped once
+// everything has drained. Close blocks until no service goroutine remains
+// and is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.closing)
+	}
+	s.wg.Wait()
+	s.pool.Close()
+	return nil
+}
