@@ -1,6 +1,20 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt vet check
+# Pinned static-analysis toolchain: @latest is not reproducible across CI
+# runs, so the version lives here and CI caches the installed binary
+# keyed on it.
+STATICCHECK_VERSION ?= 2025.1.1
+
+# Minimum total test coverage (percent) the coverage target enforces.
+# Raise it as coverage grows; never lower it to merge.
+COVERAGE_FLOOR ?= 70
+
+# Fractional slowdown tolerated by the benchmark-regression gate.
+BENCH_TOL ?= 0.25
+
+BENCHJSON := /tmp/apujoin-benchjson
+
+.PHONY: all build test race bench bench-json bench-check bench-refresh coverage lint lint-install fmt vet check
 
 all: build
 
@@ -17,22 +31,64 @@ race:
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkParallelSpeedup|BenchmarkJoin' -benchmem .
 
-# Machine-readable benchmark artifacts: the parallel-speedup and
-# service-throughput trajectories CI archives on every run.
+# Machine-readable benchmark artifacts: the parallel-speedup,
+# service-throughput and planner-amortization trajectories CI archives on
+# every run and the regression gate (bench-check) diffs against.
 bench-json:
-	$(GO) build -o /tmp/apujoin-benchjson ./cmd/benchjson
-	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | /tmp/apujoin-benchjson > BENCH_parallel.json
-	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | /tmp/apujoin-benchjson > BENCH_service.json
-	@echo "wrote BENCH_parallel.json BENCH_service.json"
+	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
+	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > BENCH_parallel.json
+	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
+	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > BENCH_plan.json
+	@echo "wrote BENCH_parallel.json BENCH_service.json BENCH_plan.json"
 
-# Static analysis beyond vet. CI installs staticcheck; locally the target
-# degrades to a notice when the binary is absent (no network assumption).
+# CI benchmark-regression gate: rerun the benchmarks into /tmp and diff
+# them against the committed BENCH_*.json baselines; a gated time metric
+# more than BENCH_TOL slower fails the build (deterministic sim_ns/op
+# always gates; host ns/op only between like machines — see benchjson).
+# Refresh the baselines with `make bench-json` when a slowdown is
+# intended and reviewed.
+bench-check:
+	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
+	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > /tmp/apujoin-bench-parallel.json
+	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
+	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
+	$(BENCHJSON) -compare BENCH_parallel.json /tmp/apujoin-bench-parallel.json -tol $(BENCH_TOL)
+	$(BENCHJSON) -compare BENCH_service.json /tmp/apujoin-bench-service.json -tol $(BENCH_TOL)
+	$(BENCHJSON) -compare BENCH_plan.json /tmp/apujoin-bench-plan.json -tol $(BENCH_TOL)
+
+# Promote the JSONs bench-check just measured to the baseline filenames
+# without re-running the benchmarks (CI runs bench-check first, then this
+# to refresh the uploaded artifact; committing the result is how an
+# intended slowdown updates the baselines).
+bench-refresh:
+	cp /tmp/apujoin-bench-parallel.json BENCH_parallel.json
+	cp /tmp/apujoin-bench-service.json BENCH_service.json
+	cp /tmp/apujoin-bench-plan.json BENCH_plan.json
+
+# Coverage with an enforced floor: per-package lines from go test, the
+# total from the merged profile, fail below COVERAGE_FLOOR percent.
+coverage:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \
+	if awk "BEGIN{exit !($$total < $(COVERAGE_FLOOR))}"; then \
+		echo "coverage $$total% is below the floor of $(COVERAGE_FLOOR)%"; exit 1; \
+	else \
+		echo "coverage $$total% meets the floor of $(COVERAGE_FLOOR)%"; \
+	fi
+
+# Static analysis beyond vet. CI installs the pinned staticcheck; locally
+# the target degrades to a notice when the binary is absent (no network
+# assumption).
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (make lint-install)"; \
 	fi
+
+lint-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -72,6 +72,20 @@ type Options = core.Options
 // chosen ratios, cost-model estimate and cache statistics.
 type Result = core.Result
 
+// Plan is a precomputed execution plan (algorithm, scheme, pilot profiles,
+// optimized ratios, predicted time) for Options.Plan; a run with an
+// injected plan skips its own pilot and ratio searches.
+type Plan = core.Plan
+
+// BuildPlan evaluates both join algorithms under every applicable
+// co-processing scheme for the workload — one pilot run feeds the cost
+// model's candidate searches — and returns the plan predicted cheapest.
+// internal/plan caches these per workload fingerprint for the service
+// layer's algo=auto path.
+func BuildPlan(r, s Relation, opt Options) (*Plan, error) {
+	return core.BuildPlan(r, s, opt)
+}
+
 // ExternalResult reports a join larger than the zero-copy buffer.
 type ExternalResult = core.ExternalResult
 

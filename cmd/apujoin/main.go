@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"strings"
 	"time"
 
 	"apujoin"
@@ -19,8 +20,8 @@ import (
 )
 
 func main() {
-	algoF := flag.String("algo", "shj", "join algorithm: shj | phj")
-	schemeF := flag.String("scheme", "pl", "scheme: cpu | gpu | ol | dd | pl | basicunit | coarsepl")
+	algoF := flag.String("algo", "shj", "join algorithm: shj | phj | auto (planner picks algo and scheme)")
+	schemeF := flag.String("scheme", "pl", "scheme: cpu | gpu | ol | dd | pl | basicunit | coarsepl; ignored with -algo auto")
 	archF := flag.String("arch", "coupled", "architecture: coupled | discrete")
 	nr := flag.Int("r", 1<<20, "build relation tuples")
 	ns := flag.Int("s", 1<<20, "probe relation tuples")
@@ -61,11 +62,14 @@ func main() {
 	}
 
 	var err error
-	if opt.Algo, err = apujoin.ParseAlgo(*algoF); err != nil {
-		log.Fatal(err)
-	}
-	if opt.Scheme, err = apujoin.ParseScheme(*schemeF); err != nil {
-		log.Fatal(err)
+	auto := strings.EqualFold(*algoF, "auto")
+	if !auto {
+		if opt.Algo, err = apujoin.ParseAlgo(*algoF); err != nil {
+			log.Fatal(err)
+		}
+		if opt.Scheme, err = apujoin.ParseScheme(*schemeF); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if opt.Arch, err = apujoin.ParseArch(*archF); err != nil {
 		log.Fatal(err)
@@ -77,6 +81,17 @@ func main() {
 
 	r := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}.Build()
 	s := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}.Probe(r, *sel)
+
+	if auto {
+		planStart := time.Now()
+		pl, perr := apujoin.BuildPlan(r, s, opt)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		opt.Plan = pl
+		fmt.Printf("auto plan: %s-%s, predicted %.3f ms (planned in %v)\n",
+			pl.Algo, pl.Scheme, pl.PredictedNS/1e6, time.Since(planStart).Round(time.Microsecond))
+	}
 
 	hostLine := func(wall time.Duration) {
 		fmt.Printf("host: %v wall-clock with %d worker(s)\n", wall.Round(time.Microsecond), *workers)

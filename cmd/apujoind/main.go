@@ -15,6 +15,12 @@
 // Example:
 //
 //	curl -s localhost:8417/v1/join -d '{"algo":"phj","scheme":"pl","r":1048576,"s":1048576,"wait":true}'
+//
+// With algo=auto the adaptive planner picks algorithm, scheme and ratios
+// from a cached workload profile (one pilot per workload shape, then cache
+// hits); the response reports the chosen plan and the cache status:
+//
+//	curl -s localhost:8417/v1/join -d '{"algo":"auto","r":1048576,"s":1048576,"wait":true}'
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,8 +49,8 @@ import (
 // Sel and Seed are pointers so an explicit 0 — a valid selectivity and a
 // valid seed — is distinguishable from "not set".
 type joinRequest struct {
-	Algo      string   `json:"algo"`   // shj | phj
-	Scheme    string   `json:"scheme"` // cpu | gpu | ol | dd | pl | basicunit | coarsepl
+	Algo      string   `json:"algo"`   // shj | phj | auto (planner decides algo+scheme)
+	Scheme    string   `json:"scheme"` // cpu | gpu | ol | dd | pl | basicunit | coarsepl; ignored with algo=auto
 	Arch      string   `json:"arch"`   // coupled | discrete
 	R         int      `json:"r"`      // build tuples
 	S         int      `json:"s"`      // probe tuples
@@ -66,8 +73,17 @@ type joinResponse struct {
 	Matches int64        `json:"matches,omitempty"`
 	TotalMS float64      `json:"total_ms,omitempty"`
 	Phases  *phaseReport `json:"phases,omitempty"`
+	Plan    *planReport  `json:"plan,omitempty"`
 	WallMS  float64      `json:"wall_ms,omitempty"`
 	Error   string       `json:"error,omitempty"`
+}
+
+// planReport is the planner's decision for an algo=auto query.
+type planReport struct {
+	Algo        string  `json:"algo"`
+	Scheme      string  `json:"scheme"`
+	Cache       string  `json:"cache"` // "hit" | "miss"
+	PredictedMS float64 `json:"predicted_ms"`
 }
 
 type phaseReport struct {
@@ -78,23 +94,30 @@ type phaseReport struct {
 	TransferMS  float64 `json:"transfer_ms"`
 }
 
-func parseRequest(req joinRequest, maxTuples int) (rel.Relation, rel.Relation, core.Options, error) {
+func parseRequest(req joinRequest, maxTuples int) (rel.Relation, rel.Relation, core.Options, bool, error) {
 	var opt core.Options
 	var zero rel.Relation
 	var err error
 
-	if opt.Algo, err = core.ParseAlgo(req.Algo); err != nil {
-		return zero, zero, opt, err
-	}
-	if opt.Scheme, err = core.ParseScheme(req.Scheme); err != nil {
-		return zero, zero, opt, err
+	// algo=auto hands algorithm and scheme to the planner; the service's
+	// shared plan cache amortizes the decision across repeated shapes.
+	auto := strings.EqualFold(req.Algo, "auto")
+	if !auto {
+		if opt.Algo, err = core.ParseAlgo(req.Algo); err != nil {
+			return zero, zero, opt, false, err
+		}
+		if opt.Scheme, err = core.ParseScheme(req.Scheme); err != nil {
+			return zero, zero, opt, false, err
+		}
+	} else if req.Scheme != "" {
+		return zero, zero, opt, false, fmt.Errorf("algo=auto picks the scheme; drop %q", req.Scheme)
 	}
 	if opt.Arch, err = core.ParseArch(req.Arch); err != nil {
-		return zero, zero, opt, err
+		return zero, zero, opt, false, err
 	}
 	dist, err := rel.ParseDistribution(req.Skew)
 	if err != nil {
-		return zero, zero, opt, err
+		return zero, zero, opt, false, err
 	}
 
 	nr, ns := req.R, req.S
@@ -105,17 +128,17 @@ func parseRequest(req joinRequest, maxTuples int) (rel.Relation, rel.Relation, c
 		ns = 1 << 20
 	}
 	if nr < 0 || ns < 0 {
-		return zero, zero, opt, fmt.Errorf("negative relation size r=%d s=%d", nr, ns)
+		return zero, zero, opt, false, fmt.Errorf("negative relation size r=%d s=%d", nr, ns)
 	}
 	if nr > maxTuples || ns > maxTuples {
-		return zero, zero, opt, fmt.Errorf("relation size exceeds -max-tuples %d", maxTuples)
+		return zero, zero, opt, false, fmt.Errorf("relation size exceeds -max-tuples %d", maxTuples)
 	}
 	sel := 1.0
 	if req.Sel != nil {
 		sel = *req.Sel
 	}
 	if sel < 0 || sel > 1 {
-		return zero, zero, opt, fmt.Errorf("selectivity %v out of [0,1]", sel)
+		return zero, zero, opt, false, fmt.Errorf("selectivity %v out of [0,1]", sel)
 	}
 	seed := int64(42)
 	if req.Seed != nil {
@@ -129,12 +152,24 @@ func parseRequest(req joinRequest, maxTuples int) (rel.Relation, rel.Relation, c
 
 	r := rel.Gen{N: nr, Dist: dist, Seed: seed}.Build()
 	s := rel.Gen{N: ns, Dist: dist, Seed: seed + 1}.Probe(r, sel)
-	return r, s, opt, nil
+	return r, s, opt, auto, nil
 }
 
 func response(q *service.Query) joinResponse {
 	info := q.Snapshot()
 	resp := joinResponse{ID: info.ID, State: info.State, Error: info.Error}
+	if info.Plan != nil {
+		cache := "miss"
+		if info.Plan.CacheHit {
+			cache = "hit"
+		}
+		resp.Plan = &planReport{
+			Algo:        info.Plan.Algo,
+			Scheme:      info.Plan.Scheme,
+			Cache:       cache,
+			PredictedMS: info.Plan.PredictedNS / 1e6,
+		}
+	}
 	if res, err, ok := q.Result(); ok && err == nil && res != nil {
 		resp.Matches = res.Matches
 		resp.TotalMS = res.TotalNS / 1e6
@@ -169,6 +204,7 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	keep := flag.Int("keep", 1024, "finished queries retained for polling")
 	maxTuples := flag.Int("max-tuples", 1<<24, "largest accepted relation size")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity for algo=auto queries (0 = default)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -195,6 +231,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *queue,
 		KeepResults:   *keep,
+		PlanCache:     *planCache,
 	})
 
 	mux := http.NewServeMux()
@@ -204,7 +241,7 @@ func main() {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		rr, rs, opt, err := parseRequest(req, *maxTuples)
+		rr, rs, opt, auto, err := parseRequest(req, *maxTuples)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -216,7 +253,11 @@ func main() {
 		if req.Wait {
 			qctx = r.Context()
 		}
-		q, err := svc.Submit(qctx, rr, rs, opt)
+		submit := svc.Submit
+		if auto {
+			submit = svc.SubmitAuto
+		}
+		q, err := submit(qctx, rr, rs, opt)
 		switch {
 		case errors.Is(err, service.ErrQueueFull):
 			writeError(w, http.StatusServiceUnavailable, err)

@@ -1,12 +1,27 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // machine-readable JSON document on stdout, so CI can archive benchmark
-// results as artifacts (BENCH_parallel.json, BENCH_service.json) and the
-// perf trajectory can be tracked across commits.
+// results as artifacts (BENCH_parallel.json, BENCH_service.json,
+// BENCH_plan.json) and the perf trajectory can be tracked across commits.
 //
 //	go test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem . | benchjson > BENCH_parallel.json
 //
 // It fails (exit 1) when no benchmark lines are found, so a renamed or
 // broken benchmark breaks CI instead of silently uploading an empty file.
+//
+// With -compare it becomes the CI benchmark-regression gate: it diffs two
+// JSON documents — host ns/op and every shared custom metric ending in
+// "ns/op" (the deterministic sim_ns/op simulated times in particular) —
+// and exits non-zero when any metric of a baseline benchmark slowed down
+// by more than -tol (fraction, default 0.25):
+//
+//	benchjson -compare BENCH_parallel.json fresh.json -tol 0.25
+//
+// The diff table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, to
+// the job summary as Markdown. Benchmark names are matched with the
+// GOMAXPROCS suffix stripped, so baselines recorded on an N-core machine
+// gate runs on any other; baseline benchmarks missing from the fresh run
+// fail the gate (a renamed benchmark must move its baseline), while fresh
+// benchmarks without a baseline are reported but never fail.
 package main
 
 import (
@@ -14,7 +29,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +45,9 @@ type Benchmark struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"b_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom units reported via testing.B.ReportMetric,
+	// e.g. "sim_ns/op" for the deterministic simulated time per query.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -74,12 +94,242 @@ func parseLine(line string) (Benchmark, bool) {
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				b.AllocsPerOp = v
 			}
+		default:
+			// Custom units from testing.B.ReportMetric (unit strings
+			// contain "/"; bare words here would be stray text).
+			if unit := fields[i+1]; strings.Contains(unit, "/") {
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if b.Metrics == nil {
+						b.Metrics = make(map[string]float64)
+					}
+					b.Metrics[unit] = v
+				}
+			}
 		}
 	}
 	return b, ok
 }
 
+// procsSuffix is the "-8" GOMAXPROCS suffix go test appends to benchmark
+// names on multi-proc machines (and omits when GOMAXPROCS=1).
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix so baselines compare across
+// machines with different core counts.
+func normalizeName(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// diffRow is one compared metric of one benchmark.
+type diffRow struct {
+	Name       string
+	Metric     string
+	Old, New   float64
+	Delta      float64 // fractional change, (new-old)/old
+	Regression bool
+	Note       string
+}
+
+// timeMetrics lists the comparable metrics of one benchmark: host ns/op
+// plus every custom metric whose unit ends in "ns/op" (sim_ns/op etc.).
+// Throughput and allocation metrics are archived but not gated.
+func timeMetrics(b Benchmark) map[string]float64 {
+	m := map[string]float64{"ns/op": b.NsPerOp}
+	for unit, v := range b.Metrics {
+		if strings.HasSuffix(unit, "ns/op") {
+			m[unit] = v
+		}
+	}
+	return m
+}
+
+// compareReports diffs new against the old baseline. Rows come back in a
+// deterministic order (benchmark name, then metric name); regression marks
+// a metric that slowed down beyond tol or a baseline benchmark that
+// disappeared.
+//
+// Host wall-clock ("ns/op") is machine-dependent, so it gates only when
+// both reports come from like machines — GOMAXPROCS equality is the proxy
+// the reports carry — and is informational otherwise. The deterministic
+// simulated metrics ("sim_ns/op" etc.) are machine-independent and always
+// gate: any drift there is a real model or engine change.
+func compareReports(oldR, newR Report, tol float64) []diffRow {
+	gateWall := oldR.GOMAXPROCS == newR.GOMAXPROCS
+	newByName := make(map[string]Benchmark, len(newR.Benchmarks))
+	for _, b := range newR.Benchmarks {
+		newByName[normalizeName(b.Name)] = b
+	}
+	oldNames := make(map[string]bool, len(oldR.Benchmarks))
+
+	var rows []diffRow
+	for _, ob := range oldR.Benchmarks {
+		name := normalizeName(ob.Name)
+		oldNames[name] = true
+		nb, ok := newByName[name]
+		if !ok {
+			rows = append(rows, diffRow{
+				Name: name, Metric: "-", Regression: true,
+				Note: "baseline benchmark missing from new run",
+			})
+			continue
+		}
+		om, nm := timeMetrics(ob), timeMetrics(nb)
+		metrics := make([]string, 0, len(om))
+		for metric := range om {
+			metrics = append(metrics, metric)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			ov := om[metric]
+			nv, ok := nm[metric]
+			if !ok {
+				rows = append(rows, diffRow{
+					Name: name, Metric: metric, Old: ov, Regression: true,
+					Note: "metric missing from new run",
+				})
+				continue
+			}
+			row := diffRow{Name: name, Metric: metric, Old: ov, New: nv}
+			if ov > 0 {
+				row.Delta = (nv - ov) / ov
+				row.Regression = row.Delta > tol
+			}
+			if metric == "ns/op" && !gateWall {
+				row.Regression = false
+				row.Note = fmt.Sprintf("informational: wall-clock across unlike machines (gomaxprocs %d vs %d)",
+					oldR.GOMAXPROCS, newR.GOMAXPROCS)
+			}
+			rows = append(rows, row)
+		}
+	}
+	// Fresh benchmarks without a baseline: informational only.
+	fresh := make([]string, 0)
+	for _, nb := range newR.Benchmarks {
+		if name := normalizeName(nb.Name); !oldNames[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		rows = append(rows, diffRow{Name: name, Metric: "-", Note: "no baseline (new benchmark)"})
+	}
+	return rows
+}
+
+func loadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// runCompare executes the -compare mode and returns the process exit code.
+func runCompare(oldPath, newPath string, tol float64) int {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newer, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	rows := compareReports(old, newer, tol)
+
+	regressions := 0
+	var plain, md strings.Builder
+	fmt.Fprintf(&plain, "%-45s %-12s %14s %14s %8s  %s\n",
+		"benchmark", "metric", "old", "new", "delta", "status")
+	md.WriteString(fmt.Sprintf("### Benchmark regression gate (tol %.0f%%)\n\n", tol*100))
+	md.WriteString("| benchmark | metric | old | new | delta | status |\n|---|---|---|---|---|---|\n")
+	for _, row := range rows {
+		status := "ok"
+		switch {
+		case row.Regression && row.Note != "":
+			status, regressions = "FAIL: "+row.Note, regressions+1
+		case row.Regression:
+			status, regressions = "FAIL", regressions+1
+		case row.Note != "":
+			status = row.Note
+		}
+		delta := fmt.Sprintf("%+.1f%%", row.Delta*100)
+		if row.Old == 0 {
+			delta = "-"
+		}
+		fmt.Fprintf(&plain, "%-45s %-12s %14.0f %14.0f %8s  %s\n",
+			row.Name, row.Metric, row.Old, row.New, delta, status)
+		fmt.Fprintf(&md, "| %s | %s | %.0f | %.0f | %s | %s |\n",
+			row.Name, row.Metric, row.Old, row.New, delta, status)
+	}
+	verdict := fmt.Sprintf("%d metrics compared, %d regressions (tolerance %.0f%%)",
+		len(rows), regressions, tol*100)
+	fmt.Print(plain.String())
+	fmt.Println(verdict)
+	md.WriteString("\n" + verdict + "\n")
+
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			_, _ = f.WriteString(md.String())
+			_ = f.Close()
+		}
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseArgs handles both "-compare old new -tol 0.25" and
+// "-compare -tol 0.25 old new" without the flag package, whose parsing
+// stops at the first positional argument.
+func parseArgs(args []string) (compare bool, files []string, tol float64, err error) {
+	tol = 0.25
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-compare", "--compare":
+			compare = true
+		case "-tol", "--tol":
+			if i+1 >= len(args) {
+				return false, nil, 0, fmt.Errorf("-tol needs a value")
+			}
+			i++
+			tol, err = strconv.ParseFloat(args[i], 64)
+			if err != nil || tol < 0 {
+				return false, nil, 0, fmt.Errorf("bad -tol %q", args[i])
+			}
+		case "-h", "--help":
+			return false, nil, 0, fmt.Errorf("usage: benchjson < bench.txt > bench.json\n       benchjson -compare old.json new.json [-tol 0.25]")
+		default:
+			files = append(files, args[i])
+		}
+	}
+	return compare, files, tol, nil
+}
+
 func main() {
+	compare, files, tol, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if compare {
+		if len(files) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(files[0], files[1], tol))
+	}
+	if len(files) != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: file arguments are only valid with -compare")
+		os.Exit(2)
+	}
+
 	report := Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),

@@ -31,3 +31,121 @@ func TestParseLine(t *testing.T) {
 		}
 	}
 }
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkPlannerAmortization/warm-8   3   26675191 ns/op   78.62 MB/s   1644449 sim_ns/op   211 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Metrics["sim_ns/op"] != 1644449 {
+		t.Fatalf("sim_ns/op not captured: %+v", b)
+	}
+	if b.NsPerOp != 26675191 || b.MBPerS != 78.62 || b.AllocsPerOp != 211 {
+		t.Fatalf("standard metrics: %+v", b)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":           "BenchmarkFoo",
+		"BenchmarkFoo/workers=2-8": "BenchmarkFoo/workers=2",
+		"BenchmarkFoo/workers=2":   "BenchmarkFoo/workers=2",
+		"BenchmarkFoo":             "BenchmarkFoo",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"sim_ns/op": 500}},
+		{Name: "BenchmarkB/sub=1", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	fresh := Report{Benchmarks: []Benchmark{
+		// Within tolerance on ns/op, regressed on sim_ns/op.
+		{Name: "BenchmarkA-8", NsPerOp: 1100, Metrics: map[string]float64{"sim_ns/op": 700}},
+		// Faster: never a regression.
+		{Name: "BenchmarkB/sub=1-8", NsPerOp: 900},
+		// No baseline: informational.
+		{Name: "BenchmarkNew-8", NsPerOp: 1},
+	}}
+
+	rows := compareReports(old, fresh, 0.25)
+	byKey := map[string]diffRow{}
+	for _, r := range rows {
+		byKey[r.Name+"|"+r.Metric] = r
+	}
+
+	if r := byKey["BenchmarkA|ns/op"]; r.Regression || r.Delta < 0.09 || r.Delta > 0.11 {
+		t.Errorf("A ns/op: %+v", r)
+	}
+	if r := byKey["BenchmarkA|sim_ns/op"]; !r.Regression {
+		t.Errorf("A sim_ns/op should regress: %+v", r)
+	}
+	if r := byKey["BenchmarkB/sub=1|ns/op"]; r.Regression {
+		t.Errorf("B speedup flagged as regression: %+v", r)
+	}
+	if r := byKey["BenchmarkGone|-"]; !r.Regression {
+		t.Errorf("missing baseline benchmark not flagged: %+v", r)
+	}
+	if r, ok := byKey["BenchmarkNew|-"]; !ok || r.Regression {
+		t.Errorf("fresh benchmark should be informational: %+v", r)
+	}
+
+	regressions := 0
+	for _, r := range rows {
+		if r.Regression {
+			regressions++
+		}
+	}
+	if regressions != 2 {
+		t.Errorf("%d regressions, want 2 (A sim_ns/op, Gone)", regressions)
+	}
+}
+
+// TestCompareReportsUnlikeMachines: wall-clock ns/op never gates across
+// reports from machines with different GOMAXPROCS; the deterministic sim
+// metrics still do.
+func TestCompareReportsUnlikeMachines(t *testing.T) {
+	old := Report{GOMAXPROCS: 1, Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"sim_ns/op": 500}},
+	}}
+	fresh := Report{GOMAXPROCS: 4, Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", NsPerOp: 5000, Metrics: map[string]float64{"sim_ns/op": 700}},
+	}}
+	rows := compareReports(old, fresh, 0.25)
+	for _, r := range rows {
+		switch r.Metric {
+		case "ns/op":
+			if r.Regression {
+				t.Errorf("wall ns/op gated across unlike machines: %+v", r)
+			}
+			if r.Note == "" {
+				t.Errorf("wall ns/op row missing informational note: %+v", r)
+			}
+		case "sim_ns/op":
+			if !r.Regression {
+				t.Errorf("sim_ns/op regression not gated across unlike machines: %+v", r)
+			}
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	// The documented order: -compare old new -tol 0.25.
+	compare, files, tol, err := parseArgs([]string{"-compare", "a.json", "b.json", "-tol", "0.5"})
+	if err != nil || !compare || tol != 0.5 || len(files) != 2 {
+		t.Fatalf("parseArgs: compare=%v files=%v tol=%v err=%v", compare, files, tol, err)
+	}
+	// Flags-first order works too, and tol defaults to 0.25.
+	compare, files, tol, err = parseArgs([]string{"-compare", "a", "b"})
+	if err != nil || !compare || tol != 0.25 || len(files) != 2 {
+		t.Fatalf("parseArgs default tol: compare=%v files=%v tol=%v err=%v", compare, files, tol, err)
+	}
+	if _, _, _, err := parseArgs([]string{"-compare", "a", "b", "-tol", "x"}); err == nil {
+		t.Fatal("bad -tol accepted")
+	}
+}

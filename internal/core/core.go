@@ -149,6 +149,14 @@ type Options struct {
 	Scheme Scheme
 	Arch   Arch
 
+	// Plan, when non-nil, is a precomputed execution plan (BuildPlan or
+	// the internal/plan cache): it overrides Algo/Scheme/Arch, supplies
+	// the pilot profiles so Run skips its own pilot, and fixes the
+	// workload ratios so the per-phase grid searches are skipped too.
+	// Caller-set Fixed* overrides still win over the plan's ratios. A
+	// plan is read-only to Run and safe to share across concurrent runs.
+	Plan *Plan
+
 	// SeparateTables builds one hash table per device and merges after the
 	// build phase. The default is the shared table on the coupled
 	// architecture; Discrete always uses separate tables (the devices have

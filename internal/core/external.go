@@ -46,6 +46,14 @@ func RunExternal(r, s rel.Relation, opt Options) (*ExternalResult, error) {
 // serves every per-pair sub-join rather than each sub-join spawning its
 // own.
 func RunExternalCtx(ctx context.Context, r, s rel.Relation, opt Options) (*ExternalResult, error) {
+	if opt.Plan != nil {
+		// A plan is built for one whole workload; the per-pair sub-joins
+		// below have different sizes and hash shifts. Keep the plan's
+		// algorithm/scheme choice but let each sub-join profile and pick
+		// its own ratios.
+		opt.Algo, opt.Scheme, opt.Arch = opt.Plan.Algo, opt.Plan.Scheme, opt.Plan.Arch
+		opt.Plan = nil
+	}
 	opt.SetDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err

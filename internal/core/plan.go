@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"apujoin/internal/cost"
+	"apujoin/internal/radix"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+)
+
+// Plan is a precomputed execution plan: the algorithm and co-processing
+// scheme the planner chose, the pilot-calibrated step profiles, and the
+// optimized workload ratios. Injecting one via Options.Plan makes Run skip
+// the pilot profiling run (the plan's profiles stand in for it) and the
+// per-phase ratio searches (the plan's ratios are applied as fixed
+// overrides), which removes plan-time cost from repeated queries of the
+// same workload shape — the amortization internal/plan caches plans for.
+//
+// A Plan is immutable after BuildPlan returns and safe to share across any
+// number of concurrent runs. The same plan injected into the same query
+// always yields bit-identical results: every field consumed by Run is a
+// deterministic input, never mutated.
+type Plan struct {
+	Algo   Algo
+	Scheme Scheme
+	Arch   Arch
+
+	// Profiles from the planning pilot, reused by every run under this
+	// plan in place of its own pilot (the cached "AMD APP Profiler" output
+	// of the paper's Sec. 4.2).
+	Partition cost.SeriesProfile
+	Build     cost.SeriesProfile
+	Probe     cost.SeriesProfile
+
+	// Optimized workload ratios, applied by Run through the Fixed*
+	// override path. PartitionRatios applies to every radix pass (PHJ
+	// only); CoarsePL leaves Build/ProbeRatios nil — its single pair-join
+	// ratio is recomputed from the plan's profiles at run time, which is
+	// deterministic and cheap (one 1-D grid search).
+	PartitionRatios sched.Ratios
+	BuildRatios     sched.Ratios
+	ProbeRatios     sched.Ratios
+
+	// PredictedNS is the cost model's end-to-end estimate for this plan;
+	// the per-phase fields split it. The service layer reports
+	// predicted-vs-simulated error from it.
+	PredictedNS          float64
+	PredictedPartitionNS float64
+	PredictedBuildNS     float64
+	PredictedProbeNS     float64
+}
+
+// String renders the plan headline, e.g. "PHJ-PL (predicted 12.3 ms)".
+func (p *Plan) String() string {
+	return fmt.Sprintf("%s-%s (predicted %.3f ms)", p.Algo, p.Scheme, p.PredictedNS/1e6)
+}
+
+// applyPlan folds an injected plan into the options: algorithm, scheme and
+// the precomputed ratios as fixed overrides (caller-set Fixed* fields win,
+// matching the cost-model-evaluation experiments that sweep them).
+func (o *Options) applyPlan() {
+	p := o.Plan
+	o.Algo = p.Algo
+	o.Scheme = p.Scheme
+	o.Arch = p.Arch
+	if len(p.PartitionRatios) > 0 && o.FixedPartition == nil {
+		o.FixedPartition = p.PartitionRatios
+	}
+	if len(p.BuildRatios) > 0 && o.FixedBuild == nil {
+		o.FixedBuild = p.BuildRatios
+	}
+	if len(p.ProbeRatios) > 0 && o.FixedProbe == nil {
+		o.FixedProbe = p.ProbeRatios
+	}
+}
+
+// autoSchemes lists the schemes the planner considers for one algorithm:
+// every scheme the cost model covers and the configuration permits.
+// BasicUnit is excluded — its chunk scheduling is dynamic and the model
+// deliberately does not predict it — and PL requires the shared hash table
+// (infeasible with separate tables / on the discrete architecture).
+func autoSchemes(algo Algo, opt Options) []Scheme {
+	schemes := []Scheme{CPUOnly, GPUOnly, OL, DD}
+	if !opt.SeparateTables {
+		schemes = append(schemes, PL)
+	}
+	if algo == PHJ {
+		schemes = append(schemes, CoarsePL)
+	}
+	return schemes
+}
+
+// BuildPlan evaluates both join algorithms under every applicable
+// co-processing scheme for the given workload and returns the plan the
+// cost model predicts cheapest. One pilot profiling run (the expensive
+// part) serves every candidate: the build and probe profiles are
+// algorithm-independent by construction of runPilot, and the partition
+// profile only matters to the PHJ candidates. Candidates are evaluated in
+// a fixed order with strict improvement, so ties resolve deterministically
+// and the same workload always yields the same plan.
+func BuildPlan(r, s rel.Relation, opt Options) (*Plan, error) {
+	opt.Plan = nil
+	opt.SetDefaults()
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan build relation: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan probe relation: %w", err)
+	}
+	if r.Len() == 0 || s.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot plan an empty relation (|R|=%d, |S|=%d)", r.Len(), s.Len())
+	}
+
+	// The pilot is run once with Algo PHJ so the partition profile is
+	// produced too; its build/probe profiles are identical to an SHJ
+	// pilot's (runPilot profiles build and probe on an unpartitioned
+	// sample regardless of the algorithm).
+	popt := opt
+	popt.Algo = PHJ
+	prof := runPilot(r, s, popt)
+
+	var best *Plan
+	for _, algo := range []Algo{SHJ, PHJ} {
+		for _, scheme := range autoSchemes(algo, opt) {
+			cand := planCandidate(r, s, opt, algo, scheme, prof)
+			if best == nil || cand.PredictedNS < best.PredictedNS {
+				best = cand
+			}
+		}
+	}
+	return best, nil
+}
+
+// planCandidate prices one (algorithm, scheme) alternative: it rebuilds
+// the run's memory environment statically — radix fan-out, estimated
+// hash-table residency, partition-chunk working sets — and runs the same
+// per-scheme ratio optimizers chooseRatios would, yielding the ratios the
+// plan will fix and the model's end-to-end estimate.
+func planCandidate(r, s rel.Relation, opt Options, algo Algo, scheme Scheme, prof profiles) *Plan {
+	opt.Algo, opt.Scheme = algo, scheme
+	env := &envState{
+		cache:           opt.Cache,
+		parts:           1,
+		shared:          !opt.SeparateTables,
+		scratchPressure: 512 << 10,
+	}
+	model := &cost.Model{CPU: opt.CPU, GPU: opt.GPU, Env: env.envFor}
+	pl := &Plan{
+		Algo: algo, Scheme: scheme, Arch: opt.Arch,
+		Partition: prof.partition, Build: prof.build, Probe: prof.probe,
+	}
+
+	nBuckets := ceilPow2(r.Len())
+	if algo == PHJ {
+		rp := radix.PlanFor(r.Len(), opt.RadixTargetBytes)
+		parts := rp.Partitions()
+		avg := r.Len() / parts
+		if avg < 1 {
+			avg = 1
+		}
+		nBuckets = parts * ceilPow2(avg)
+		env.parts = parts
+
+		// Ratios are chosen once, on the first pass's fan-out over |R|
+		// items, exactly as a FixedPartition override applies one ratio
+		// vector to every pass; the prediction then prices every pass of
+		// both relations at those ratios under its own chunk working set.
+		env.partitionStreams = int64(1<<rp.BitsPerPass[0]) * chunkBytes
+		steps := len(prof.partition.Steps)
+		ratios, _ := schemeRatios(model, opt, prof.partition, r.Len(), steps)
+		pl.PartitionRatios = ratios
+		for _, bits := range rp.BitsPerPass {
+			env.partitionStreams = int64(1<<bits) * chunkBytes
+			pl.PredictedPartitionNS += model.EstimateNS(prof.partition, r.Len(), ratios)
+			pl.PredictedPartitionNS += model.EstimateNS(prof.partition, s.Len(), ratios)
+		}
+		env.partitionStreams = 0
+	}
+	env.tableBytes = estimateTableBytes(r.Len(), nBuckets)
+
+	if scheme == CoarsePL {
+		parts := env.parts
+		env.coarsePairBytes = (r.Bytes() + s.Bytes() + env.tableBytes) / int64(parts)
+		cp := coarseProfile(prof.build, prof.probe,
+			float64(r.Len())/float64(parts), float64(s.Len())/float64(parts))
+		_, est := model.OptimizeDD(cp, parts, opt.Delta)
+		// The pair joins cover build and probe; attribute by tuple share
+		// as coarseJoin does.
+		fr := float64(r.Len()) / float64(r.Len()+s.Len())
+		pl.PredictedBuildNS = est * fr
+		pl.PredictedProbeNS = est * (1 - fr)
+	} else {
+		pl.BuildRatios, pl.PredictedBuildNS =
+			schemeRatios(model, opt, prof.build, r.Len(), len(prof.build.Steps))
+		pl.ProbeRatios, pl.PredictedProbeNS =
+			schemeRatios(model, opt, prof.probe, s.Len(), len(prof.probe.Steps))
+	}
+	pl.PredictedNS = pl.PredictedPartitionNS + pl.PredictedBuildNS + pl.PredictedProbeNS
+	return pl
+}

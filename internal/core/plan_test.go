@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"apujoin/internal/rel"
+)
+
+func planTestData(t testing.TB) (rel.Relation, rel.Relation) {
+	t.Helper()
+	r := rel.Gen{N: 1 << 15, Seed: 7}.Build()
+	s := rel.Gen{N: 1 << 15, Seed: 8}.Probe(r, 0.8)
+	return r, s
+}
+
+func planTestOptions() Options {
+	return Options{Delta: 0.1, PilotItems: 1 << 12}
+}
+
+// TestBuildPlanDeterminism: the same workload always yields the same plan,
+// field for field — the planner has no hidden randomness or map-order
+// dependence.
+func TestBuildPlanDeterminism(t *testing.T) {
+	r, s := planTestData(t)
+	p1, err := BuildPlan(r, s, planTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPlan(r, s, planTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plans differ across builds:\n%+v\nvs\n%+v", p1, p2)
+	}
+	if p1.PredictedNS <= 0 {
+		t.Fatalf("plan has no prediction: %+v", p1)
+	}
+}
+
+// TestBuildPlanPicksCheapest: the returned plan carries the minimum
+// predicted time over every candidate the planner enumerates.
+func TestBuildPlanPicksCheapest(t *testing.T) {
+	r, s := planTestData(t)
+	opt := planTestOptions()
+	best, err := BuildPlan(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	popt := opt
+	popt.SetDefaults()
+	pilotOpt := popt
+	pilotOpt.Algo = PHJ
+	prof := runPilot(r, s, pilotOpt)
+	for _, algo := range []Algo{SHJ, PHJ} {
+		for _, scheme := range autoSchemes(algo, popt) {
+			cand := planCandidate(r, s, popt, algo, scheme, prof)
+			if cand.PredictedNS < best.PredictedNS {
+				t.Errorf("candidate %s-%s predicted %.0f ns beats chosen %s-%s at %.0f ns",
+					algo, scheme, cand.PredictedNS, best.Algo, best.Scheme, best.PredictedNS)
+			}
+		}
+	}
+}
+
+// TestPlanInjection: a run with an injected plan is correct (exact match
+// count), uses the plan's ratios, and is bit-identical run to run.
+func TestPlanInjection(t *testing.T) {
+	r, s := planTestData(t)
+	opt := planTestOptions()
+	pl, err := BuildPlan(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Plan = pl
+	res1, err := Run(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rel.NaiveJoinCount(r, s); res1.Matches != want {
+		t.Fatalf("planned run: %d matches, want %d", res1.Matches, want)
+	}
+	if res1.Algo != pl.Algo || res1.Scheme != pl.Scheme {
+		t.Fatalf("planned run executed %s-%s, plan says %s-%s",
+			res1.Algo, res1.Scheme, pl.Algo, pl.Scheme)
+	}
+	if len(pl.BuildRatios) > 0 && !reflect.DeepEqual(res1.Ratios.Build, pl.BuildRatios) {
+		t.Fatalf("build ratios %v differ from plan %v", res1.Ratios.Build, pl.BuildRatios)
+	}
+	if len(pl.ProbeRatios) > 0 && !reflect.DeepEqual(res1.Ratios.Probe, pl.ProbeRatios) {
+		t.Fatalf("probe ratios %v differ from plan %v", res1.Ratios.Probe, pl.ProbeRatios)
+	}
+	if pl.Algo == PHJ && len(pl.PartitionRatios) > 0 {
+		for _, pr := range res1.Ratios.Partition {
+			if !reflect.DeepEqual(pr, pl.PartitionRatios) {
+				t.Fatalf("partition ratios %v differ from plan %v", pr, pl.PartitionRatios)
+			}
+		}
+	}
+
+	res2, err := Run(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Matches != res2.Matches || res1.TotalNS != res2.TotalNS ||
+		res1.EstimatedNS != res2.EstimatedNS {
+		t.Fatalf("planned runs not bit-identical: %v/%v vs %v/%v",
+			res1.Matches, res1.TotalNS, res2.Matches, res2.TotalNS)
+	}
+}
+
+// TestBuildPlanSeparateTables: with separate per-device tables (and on the
+// discrete architecture, which forces them) the planner must never pick
+// PL — it is infeasible there and Run rejects it.
+func TestBuildPlanSeparateTables(t *testing.T) {
+	r, s := planTestData(t)
+	for _, opt := range []Options{
+		{Delta: 0.1, PilotItems: 1 << 12, SeparateTables: true},
+		{Delta: 0.1, PilotItems: 1 << 12, Arch: Discrete},
+	} {
+		pl, err := BuildPlan(r, s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Scheme == PL {
+			t.Fatalf("planner chose PL with separate tables (arch %s)", opt.Arch)
+		}
+		opt.Plan = pl
+		res, err := Run(r, s, opt)
+		if err != nil {
+			t.Fatalf("planned run under %+v: %v", pl, err)
+		}
+		if want := rel.NaiveJoinCount(r, s); res.Matches != want {
+			t.Fatalf("planned run: %d matches, want %d", res.Matches, want)
+		}
+	}
+}
+
+// TestBuildPlanEmptyRelation: planning an empty workload is an error, not
+// a nil-profile plan.
+func TestBuildPlanEmptyRelation(t *testing.T) {
+	r := rel.Gen{N: 1 << 10, Seed: 1}.Build()
+	if _, err := BuildPlan(rel.Relation{}, r, planTestOptions()); err == nil {
+		t.Fatal("no error planning an empty build relation")
+	}
+	if _, err := BuildPlan(r, rel.Relation{}, planTestOptions()); err == nil {
+		t.Fatal("no error planning an empty probe relation")
+	}
+}

@@ -30,6 +30,11 @@ func Run(r, s rel.Relation, opt Options) (*Result, error) {
 // of runs may execute concurrently, each producing bit-identical results to
 // the same run executed alone.
 func RunCtx(ctx context.Context, r, s rel.Relation, opt Options) (*Result, error) {
+	if opt.Plan != nil {
+		// An injected plan decides algorithm, scheme and ratios; the
+		// pilot below is skipped in favour of the plan's profiles.
+		opt.applyPlan()
+	}
 	opt.SetDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -79,8 +84,18 @@ func RunCtx(ctx context.Context, r, s rel.Relation, opt Options) (*Result, error
 		exec.PCIe = &pcie
 	}
 
-	// Pilot profiling run (the "profiler" feeding the cost model).
-	prof := runPilot(r, s, opt)
+	// Pilot profiling run (the "profiler" feeding the cost model) — or the
+	// injected plan's cached profiles, which skip the pilot entirely.
+	var prof profiles
+	if opt.Plan != nil {
+		prof = profiles{
+			partition: opt.Plan.Partition,
+			build:     opt.Plan.Build,
+			probe:     opt.Plan.Probe,
+		}
+	} else {
+		prof = runPilot(r, s, opt)
+	}
 	res.BuildProfile = prof.build
 	res.ProbeProfile = prof.probe
 	res.PartitionProfile = prof.partition
@@ -218,7 +233,16 @@ func (rn *runner) chooseRatios(model *cost.Model, prof cost.SeriesProfile, items
 		}
 		return fixed, model.EstimateNS(prof, items, fixed)
 	}
-	switch rn.opt.Scheme {
+	return schemeRatios(model, rn.opt, prof, items, steps)
+}
+
+// schemeRatios runs the per-scheme ratio optimizer for one series,
+// returning the chosen ratios with the model's estimate. It is shared by
+// the run-time ratio choice and the ahead-of-time planner (BuildPlan), so
+// a plan's fixed ratios are exactly what an unplanned run would search for
+// under the same profiles and environment.
+func schemeRatios(model *cost.Model, opt Options, prof cost.SeriesProfile, items, steps int) (sched.Ratios, float64) {
+	switch opt.Scheme {
 	case CPUOnly:
 		r := sched.Uniform(1, steps)
 		return r, model.EstimateNS(prof, items, r)
@@ -226,7 +250,7 @@ func (rn *runner) chooseRatios(model *cost.Model, prof cost.SeriesProfile, items
 		r := sched.Uniform(0, steps)
 		return r, model.EstimateNS(prof, items, r)
 	case OL:
-		if rn.opt.SeparateTables {
+		if opt.SeparateTables {
 			// Whole-phase offload keeps each tuple on one device/table.
 			cpu := sched.Uniform(1, steps)
 			gpu := sched.Uniform(0, steps)
@@ -239,13 +263,13 @@ func (rn *runner) chooseRatios(model *cost.Model, prof cost.SeriesProfile, items
 		}
 		return model.OptimizeOL(prof, items)
 	case DD:
-		r, est := model.OptimizeDD(prof, items, rn.opt.Delta)
+		r, est := model.OptimizeDD(prof, items, opt.Delta)
 		return sched.Uniform(r, steps), est
 	case PL, CoarsePL:
-		if rn.opt.FullGrid {
-			return model.OptimizePL(prof, items, rn.opt.Delta)
+		if opt.FullGrid {
+			return model.OptimizePL(prof, items, opt.Delta)
 		}
-		return model.OptimizePLRefined(prof, items, rn.opt.Delta)
+		return model.OptimizePLRefined(prof, items, opt.Delta)
 	default:
 		r := sched.Uniform(0.5, steps)
 		return r, model.EstimateNS(prof, items, r)

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+// BenchmarkPlannerAmortization measures what the plan cache buys in steady
+// state. cold plans every query from scratch (a fresh planner per
+// iteration: fingerprint miss → pilot run + candidate searches, the cost
+// an unplanned core.Run pays too); warm shares one planner primed outside
+// the timer, so every iteration hits the cache and the query runs with the
+// pilot and the grid searches amortized away. Both execute the identical
+// injected plan, so matches and every simulated time are bit-identical —
+// the ns/op gap is pure plan-time host cost, and sim_ns/op (recorded in
+// BENCH_plan.json) is constant across the two by construction.
+func BenchmarkPlannerAmortization(b *testing.B) {
+	r := rel.Gen{N: 1 << 17, Seed: 1}.Build()
+	s := rel.Gen{N: 1 << 17, Seed: 2}.Probe(r, 1.0)
+	opt := core.Options{Delta: 0.1, PilotItems: 1 << 13}
+
+	var refMatches int64
+	var refSimNS float64
+	runPlanned := func(b *testing.B, p *Planner) {
+		b.Helper()
+		pl, _, _, err := p.Plan(context.Background(), r, s, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opt
+		o.Plan = pl
+		res, err := core.Run(r, s, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if refMatches == 0 {
+			refMatches, refSimNS = res.Matches, res.TotalNS
+		} else if res.Matches != refMatches || res.TotalNS != refSimNS {
+			b.Fatalf("cache state changed results: matches %d (want %d), simNS %.0f (want %.0f)",
+				res.Matches, refMatches, res.TotalNS, refSimNS)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(r.Bytes() + s.Bytes())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runPlanned(b, New(4)) // fresh planner: every query pays the pilot
+		}
+		b.ReportMetric(refSimNS, "sim_ns/op")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		p := New(4)
+		runPlanned(b, p) // prime the cache outside the timer
+		b.SetBytes(r.Bytes() + s.Bytes())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runPlanned(b, p) // cache hit: no pilot, no searches
+		}
+		b.ReportMetric(refSimNS, "sim_ns/op")
+		if st := p.Stats(); st.Misses != 1 {
+			b.Fatalf("warm path missed the cache %d times", st.Misses)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package plan is the adaptive planner in front of the join engine: it
+// fingerprints a workload (device pair, relation sizes, tuple widths and
+// measured skew/selectivity buckets), builds the cheapest full execution
+// plan on a cache miss — one pilot run plus the cost-model optimizers over
+// both algorithms and every applicable co-processing scheme, via
+// core.BuildPlan — and memoizes the plan in a bounded LRU so subsequent
+// queries with the same fingerprint skip the pilot and the grid searches
+// entirely.
+//
+// The determinism contract extends through the planner: the same
+// fingerprint always maps to the same plan (core.BuildPlan is
+// deterministic and ties break in a fixed candidate order), and the same
+// plan injected into the same query yields bit-identical results, so
+// cache mediation is invisible in every simulated number.
+package plan
+
+import (
+	"math"
+
+	"apujoin/internal/alloc"
+	"apujoin/internal/core"
+	"apujoin/internal/mem"
+	"apujoin/internal/rel"
+)
+
+// fingerprintSample bounds how many probe tuples the workload measurement
+// touches; sampling is strided so clustered or sorted inputs are covered
+// evenly. The build relation is scanned once (cheap next to a pilot) so
+// the selectivity measurement is exact membership, not an estimate over a
+// second sample.
+const fingerprintSample = 4096
+
+// Skew-bucket thresholds on the sampled heavy-hitter share, placed between
+// the paper's workload classes (uniform, s=10 low skew, s=25 high skew).
+const (
+	skewLowThreshold  = 0.05
+	skewHighThreshold = 0.175
+)
+
+// selBuckets is the selectivity quantization: round(sel × selBuckets)
+// yields buckets wide enough (1/8) that sampling noise on 4Ki probes
+// cannot flap a bucket unless the true selectivity sits on a boundary.
+const selBuckets = 8
+
+// Fingerprint identifies a workload shape for plan reuse. Two queries with
+// equal fingerprints get the same plan: the fields cover everything
+// core.BuildPlan consumes — the device pair and architecture, the planning
+// knobs that shape profiles and searches, the relation sizes and tuple
+// widths, and the measured distribution buckets. Data seeds and worker
+// counts are deliberately absent: they change neither profiles nor chosen
+// ratios. The struct is comparable and used directly as the cache key.
+type Fingerprint struct {
+	CPU  string
+	GPU  string
+	Arch core.Arch
+	// Cache is the shared-L2 model the candidates are priced against; its
+	// three parameters shift every hit ratio the estimates use.
+	Cache mem.CacheModel
+
+	Separate  bool
+	Grouping  bool
+	Groups    int
+	CountOnly bool
+	FullGrid  bool
+	// DeltaMilli is the ratio-grid granularity δ in thousandths, so the
+	// key stays integral.
+	DeltaMilli  int
+	AllocKind   alloc.Strategy
+	AllocBlock  int
+	PilotItems  int
+	RadixTarget int64
+	HashShift   uint
+
+	R          int
+	S          int
+	TupleBytes int
+
+	// SkewBucket classifies the sampled heavy-hitter share of the probe
+	// keys: 0 ≈ uniform, 1 ≈ the paper's low skew (s=10), 2 ≈ high skew
+	// (s=25). SelBucket is round(measured selectivity × selBuckets).
+	SkewBucket int
+	SelBucket  int
+}
+
+// Of computes the fingerprint of one workload. Options are defaulted
+// first, so an explicit default and an unset field fingerprint alike. The
+// cost is one strided pass over a probe sample plus one scan of the build
+// keys — far below the pilot run the fingerprint exists to amortize.
+func Of(r, s rel.Relation, opt core.Options) Fingerprint {
+	opt.Plan = nil
+	opt.SetDefaults()
+	fp := Fingerprint{
+		CPU:   opt.CPU.Name,
+		GPU:   opt.GPU.Name,
+		Arch:  opt.Arch,
+		Cache: opt.Cache,
+
+		Separate:    opt.SeparateTables,
+		Grouping:    opt.Grouping,
+		Groups:      opt.Groups,
+		CountOnly:   opt.CountOnly,
+		FullGrid:    opt.FullGrid,
+		DeltaMilli:  int(math.Round(opt.Delta * 1000)),
+		AllocKind:   opt.Alloc.Strategy,
+		AllocBlock:  opt.Alloc.BlockBytes,
+		PilotItems:  opt.PilotItems,
+		RadixTarget: opt.RadixTargetBytes,
+		HashShift:   opt.HashShift,
+
+		R:          r.Len(),
+		S:          s.Len(),
+		TupleBytes: 8, // two int32 columns per tuple
+	}
+	fp.SkewBucket, fp.SelBucket = workloadBuckets(r, s)
+	return fp
+}
+
+// workloadBuckets measures the probe-side skew (heavy-hitter share of a
+// strided sample) and the join selectivity (exact membership of the
+// sampled probe keys in the full build key set, tested by scanning R once
+// against the small sample map — O(|R|) time, O(sample) memory), then
+// quantizes both so equivalent relations from different seeds land in the
+// same bucket.
+func workloadBuckets(r, s rel.Relation) (skew, sel int) {
+	ns := s.Len()
+	if ns == 0 || r.Len() == 0 {
+		return 0, 0
+	}
+	stride := ns / fingerprintSample
+	if stride < 1 {
+		stride = 1
+	}
+
+	counts := make(map[int32]int, fingerprintSample)
+	sampled := 0
+	for i := 0; i < ns; i += stride {
+		counts[s.Keys[i]]++
+		sampled++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	switch share := float64(maxCount) / float64(sampled); {
+	case share < skewLowThreshold:
+		skew = 0
+	case share < skewHighThreshold:
+		skew = 1
+	default:
+		skew = 2
+	}
+
+	present := make(map[int32]bool, len(counts))
+	for k := range counts {
+		present[k] = false
+	}
+	for _, k := range r.Keys {
+		if v, ok := present[k]; ok && !v {
+			present[k] = true
+		}
+	}
+	matched := 0
+	for i := 0; i < ns; i += stride {
+		if present[s.Keys[i]] {
+			matched++
+		}
+	}
+	sel = int(math.Round(float64(matched) / float64(sampled) * selBuckets))
+	return skew, sel
+}

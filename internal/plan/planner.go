@@ -1,0 +1,37 @@
+package plan
+
+import (
+	"context"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+// Planner pairs the fingerprint function with a plan cache: the unit the
+// service layer owns and every auto-planned query consults.
+type Planner struct {
+	cache *Cache
+}
+
+// New returns a planner over a fresh cache of the given capacity
+// (<= 0 selects DefaultCacheCapacity).
+func New(capacity int) *Planner {
+	return &Planner{cache: NewCache(capacity)}
+}
+
+// Plan returns the execution plan for the workload: the cached plan when
+// the fingerprint is resident (no pilot, no searches), otherwise the plan
+// core.BuildPlan constructs, which is cached before returning. hit reports
+// whether this call avoided the build (resident entry or coalesced onto a
+// concurrent identical miss). ctx bounds the caller's wait — see
+// Cache.GetOrBuild for the exact cancellation semantics.
+func (p *Planner) Plan(ctx context.Context, r, s rel.Relation, opt core.Options) (pl *core.Plan, fp Fingerprint, hit bool, err error) {
+	fp = Of(r, s, opt)
+	pl, hit, err = p.cache.GetOrBuild(ctx, fp, func() (*core.Plan, error) {
+		return core.BuildPlan(r, s, opt)
+	})
+	return pl, fp, hit, err
+}
+
+// Stats snapshots the underlying cache counters.
+func (p *Planner) Stats() CacheStats { return p.cache.Stats() }

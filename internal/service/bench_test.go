@@ -47,4 +47,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 				res.Matches, refMatches, res.TotalNS, refSimNS)
 		}
 	}
+	// Deterministic simulated time per query: the machine-independent
+	// metric the CI benchmark-regression gate diffs.
+	b.ReportMetric(refSimNS, "sim_ns/op")
 }

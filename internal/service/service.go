@@ -1,7 +1,9 @@
 // Package service is the multi-query join service layer: a long-lived
 // Service owns one resident sched.Pool shared by every query, an admission
-// layer that bounds how many queries execute and wait at once, and a
-// metrics surface aggregated across the service's lifetime.
+// layer that bounds how many queries execute and wait at once, a shared
+// plan cache behind SubmitAuto (the planner picks algorithm, scheme and
+// ratios; repeated workload shapes skip the pilot entirely), and a metrics
+// surface aggregated across the service's lifetime.
 //
 // The determinism contract of the execution engine extends to the service:
 // a query's match count and every simulated time are bit-identical whether
@@ -15,11 +17,13 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
 	"apujoin/internal/core"
+	"apujoin/internal/plan"
 	"apujoin/internal/rel"
 	"apujoin/internal/sched"
 )
@@ -46,6 +50,9 @@ type Options struct {
 	// KeepResults bounds how many finished queries stay pollable; <= 0
 	// defaults to 1024. The oldest finished queries are evicted first.
 	KeepResults int
+	// PlanCache bounds the shared plan cache consulted by SubmitAuto;
+	// <= 0 selects plan.DefaultCacheCapacity.
+	PlanCache int
 }
 
 func (o *Options) setDefaults() {
@@ -102,6 +109,12 @@ type Query struct {
 	started  time.Time
 	finished time.Time
 
+	// auto marks a SubmitAuto query; plan/planHit are filled once the
+	// planner has decided (just before execution starts).
+	auto    bool
+	plan    *core.Plan
+	planHit bool
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -147,6 +160,17 @@ type Info struct {
 	Matches     int64   `json:"matches,omitempty"`
 	SimulatedNS float64 `json:"simulated_ns,omitempty"`
 	Error       string  `json:"error,omitempty"`
+	// Plan reports the planner's decision for auto-planned queries.
+	Plan *PlanInfo `json:"plan,omitempty"`
+}
+
+// PlanInfo is the plan report of one auto-planned query: what the planner
+// chose, whether the plan came from the cache, and its predicted time.
+type PlanInfo struct {
+	Algo        string  `json:"algo"`
+	Scheme      string  `json:"scheme"`
+	CacheHit    bool    `json:"cache_hit"`
+	PredictedNS float64 `json:"predicted_ns"`
 }
 
 // Snapshot returns the query's current Info.
@@ -168,6 +192,14 @@ func (q *Query) Snapshot() Info {
 	if q.res != nil {
 		info.Matches = q.res.Matches
 		info.SimulatedNS = q.res.TotalNS
+	}
+	if q.plan != nil {
+		info.Plan = &PlanInfo{
+			Algo:        q.plan.Algo.String(),
+			Scheme:      q.plan.Scheme.String(),
+			CacheHit:    q.planHit,
+			PredictedNS: q.plan.PredictedNS,
+		}
 	}
 	if q.err != nil {
 		info.Error = q.err.Error()
@@ -217,12 +249,37 @@ type Stats struct {
 	SimulatedNS float64 `json:"simulated_ns"`
 	WallNS      int64   `json:"wall_ns"`
 	Phases      PhaseNS `json:"phases"`
+
+	// Auto-planning surface. AutoPlanned counts completed auto queries;
+	// PlanHits/PlanMisses/PlanEvictions/PlanEntries mirror the shared plan
+	// cache; the Predicted/Simulated/AbsErr sums (over completed auto
+	// queries) expose the cost model's predicted-vs-simulated error —
+	// MeanPlanErr() folds them into one number.
+	AutoPlanned     int64   `json:"auto_planned"`
+	PlanHits        int64   `json:"plan_hits"`
+	PlanMisses      int64   `json:"plan_misses"`
+	PlanEvictions   int64   `json:"plan_evictions"`
+	PlanEntries     int     `json:"plan_entries"`
+	PlanPredictedNS float64 `json:"plan_predicted_ns"`
+	PlanSimulatedNS float64 `json:"plan_simulated_ns"`
+	PlanAbsErrNS    float64 `json:"plan_abs_err_ns"`
+}
+
+// MeanPlanErr returns the mean relative predicted-vs-simulated error of
+// completed auto-planned queries: Σ|predicted−simulated| / Σsimulated
+// (0 before the first auto query completes).
+func (s Stats) MeanPlanErr() float64 {
+	if s.PlanSimulatedNS == 0 {
+		return 0
+	}
+	return s.PlanAbsErrNS / s.PlanSimulatedNS
 }
 
 // Service is a multi-query join service over one shared resident pool.
 type Service struct {
-	opt  Options
-	pool *sched.Pool
+	opt     Options
+	pool    *sched.Pool
+	planner *plan.Planner
 	// sem holds one slot per concurrently executing query; acquisition
 	// order is the runtime's FIFO for blocked channel sends, which
 	// interleaves waiting queries fairly.
@@ -246,6 +303,7 @@ func New(opt Options) *Service {
 	s := &Service{
 		opt:     opt,
 		pool:    sched.NewPool(opt.Workers),
+		planner: plan.New(opt.PlanCache),
 		sem:     make(chan struct{}, opt.MaxConcurrent),
 		closing: make(chan struct{}),
 		queries: make(map[int64]*Query),
@@ -268,6 +326,22 @@ func (s *Service) Pool() *sched.Pool { return s.pool }
 // opt.ZeroCopy is nil, its own zero-copy buffer — callers must not share
 // one ZeroCopy across concurrent submissions).
 func (s *Service) Submit(ctx context.Context, r, sr rel.Relation, opt core.Options) (*Query, error) {
+	return s.submit(ctx, r, sr, opt, false)
+}
+
+// SubmitAuto is Submit with the algorithm and scheme decided by the
+// planner: when the query starts executing it consults the service's
+// shared plan cache — a fingerprint hit reuses the cached plan and skips
+// the pilot and ratio searches entirely; a miss builds the plan (both
+// algorithms, every applicable scheme) and caches it for every later query
+// of the same shape. opt.Algo, opt.Scheme and any opt.Plan are ignored;
+// the other options are per-query as in Submit and are part of the
+// workload fingerprint where they shape the plan.
+func (s *Service) SubmitAuto(ctx context.Context, r, sr rel.Relation, opt core.Options) (*Query, error) {
+	return s.submit(ctx, r, sr, opt, true)
+}
+
+func (s *Service) submit(ctx context.Context, r, sr rel.Relation, opt core.Options, auto bool) (*Query, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -290,6 +364,7 @@ func (s *Service) Submit(ctx context.Context, r, sr rel.Relation, opt core.Optio
 	qctx, cancel := context.WithCancel(ctx)
 	q := &Query{
 		ID:     s.nextID,
+		auto:   auto,
 		submit: time.Now(),
 		cancel: cancel,
 		done:   make(chan struct{}),
@@ -365,6 +440,27 @@ func (s *Service) run(ctx context.Context, q *Query, r, sr rel.Relation, opt cor
 	started := q.started
 	q.mu.Unlock()
 
+	if q.auto {
+		// Planning happens inside the admission slot: a cache hit is
+		// nearly free, a miss pays one pilot that every later query of
+		// this shape skips. The plan decides algorithm, scheme and ratios.
+		// The query's context bounds the planning wait, so a cancelled
+		// query frees its slot instead of blocking on another's build.
+		pl, _, hit, perr := s.planner.Plan(ctx, r, sr, opt)
+		if perr != nil {
+			st := Failed
+			if errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded) {
+				st = Canceled
+			}
+			s.finish(q, nil, perr, st, started)
+			return
+		}
+		q.mu.Lock()
+		q.plan, q.planHit = pl, hit
+		q.mu.Unlock()
+		opt.Plan = pl
+	}
+
 	res, err := core.RunCtx(ctx, r, sr, opt)
 	switch {
 	case err == nil:
@@ -406,6 +502,15 @@ func (s *Service) finish(q *Query, res *core.Result, err error, st State, starte
 		s.stats.Phases.Probe += res.ProbeNS
 		s.stats.Phases.Merge += res.MergeNS
 		s.stats.Phases.Transfer += res.TransferNS
+		q.mu.Lock()
+		pl := q.plan
+		q.mu.Unlock()
+		if pl != nil {
+			s.stats.AutoPlanned++
+			s.stats.PlanPredictedNS += pl.PredictedNS
+			s.stats.PlanSimulatedNS += res.TotalNS
+			s.stats.PlanAbsErrNS += math.Abs(pl.PredictedNS - res.TotalNS)
+		}
 	case Failed:
 		s.stats.Failed++
 	case Canceled:
@@ -463,11 +568,17 @@ func (s *Service) Queries() []Info {
 	return out
 }
 
-// Stats snapshots the metrics surface.
+// Stats snapshots the metrics surface, folding in the plan cache counters.
 func (s *Service) Stats() Stats {
+	cs := s.planner.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.PlanHits = cs.Hits
+	st.PlanMisses = cs.Misses
+	st.PlanEvictions = cs.Evictions
+	st.PlanEntries = cs.Entries
+	return st
 }
 
 // Close shuts the service down gracefully: new submissions are rejected

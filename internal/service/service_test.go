@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"runtime"
 	"testing"
@@ -287,5 +288,125 @@ func TestResultRetention(t *testing.T) {
 	}
 	if _, ok := svc.Query(1); ok {
 		t.Errorf("oldest query still retained beyond cap")
+	}
+}
+
+// TestSubmitAutoBitIdentical: queries submitted with SubmitAuto — planner
+// decides, plan cache mediates — produce results bit-identical to a plain
+// core.Run with the same plan injected explicitly, whether the plan came
+// from a cache miss or a hit; and the stats surface reports the cache and
+// predicted-vs-simulated accounting.
+func TestSubmitAutoBitIdentical(t *testing.T) {
+	opt := core.Options{Delta: 0.1, PilotItems: 1 << 11}
+	r := rel.Gen{N: 30000, Dist: rel.LowSkew, Seed: 11}.Build()
+	s := rel.Gen{N: 30000, Dist: rel.LowSkew, Seed: 12}.Probe(r, 0.8)
+
+	svc := New(Options{MaxConcurrent: 2})
+	defer svc.Close()
+
+	const queries = 4
+	qs := make([]*Query, queries)
+	for i := range qs {
+		q, err := svc.SubmitAuto(context.Background(), r, s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	results := make([]*core.Result, queries)
+	for i, q := range qs {
+		res, err := q.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+
+	// Explicitly planned reference, run alone outside the service.
+	pl, err := core.BuildPlan(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpt := opt
+	refOpt.Plan = pl
+	refOpt.Workers = 1
+	ref, err := core.Run(r, s, refOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		compareResults(t, "auto", fmt.Sprintf("query %d vs explicit plan", i), ref, res)
+	}
+
+	// Every query's snapshot reports the planner's decision; exactly one
+	// paid the plan build.
+	hits := 0
+	for _, q := range qs {
+		info := q.Snapshot()
+		if info.Plan == nil {
+			t.Fatalf("query %d snapshot has no plan report", q.ID)
+		}
+		if info.Plan.Algo != pl.Algo.String() || info.Plan.Scheme != pl.Scheme.String() {
+			t.Errorf("query %d planned %s-%s, want %s-%s",
+				q.ID, info.Plan.Algo, info.Plan.Scheme, pl.Algo, pl.Scheme)
+		}
+		if info.Plan.CacheHit {
+			hits++
+		}
+	}
+	if hits != queries-1 {
+		t.Errorf("%d cache hits across %d identical queries, want %d", hits, queries, queries-1)
+	}
+
+	st := svc.Stats()
+	if st.AutoPlanned != queries {
+		t.Errorf("AutoPlanned %d, want %d", st.AutoPlanned, queries)
+	}
+	if st.PlanMisses != 1 || st.PlanHits != queries-1 {
+		t.Errorf("plan cache hits/misses %d/%d, want %d/1", st.PlanHits, st.PlanMisses, queries-1)
+	}
+	if st.PlanEntries != 1 {
+		t.Errorf("PlanEntries %d, want 1", st.PlanEntries)
+	}
+	if st.PlanSimulatedNS != float64(queries)*ref.TotalNS {
+		t.Errorf("PlanSimulatedNS %.0f, want %.0f", st.PlanSimulatedNS, float64(queries)*ref.TotalNS)
+	}
+	if st.PlanPredictedNS != float64(queries)*pl.PredictedNS {
+		t.Errorf("PlanPredictedNS %.0f, want %.0f", st.PlanPredictedNS, float64(queries)*pl.PredictedNS)
+	}
+	if err := st.MeanPlanErr(); err < 0 || err > 1 {
+		t.Errorf("MeanPlanErr %.3f out of [0,1]", err)
+	}
+}
+
+// TestSubmitAutoDistinctShapes: different workload shapes occupy distinct
+// cache entries and each picks its own plan.
+func TestSubmitAutoDistinctShapes(t *testing.T) {
+	opt := core.Options{Delta: 0.1, PilotItems: 1 << 11}
+	svc := New(Options{MaxConcurrent: 2})
+	defer svc.Close()
+
+	shapes := []struct {
+		dist rel.Distribution
+		sel  float64
+	}{{rel.Uniform, 1.0}, {rel.HighSkew, 0.5}}
+	for i, sh := range shapes {
+		r := rel.Gen{N: 20000, Dist: sh.dist, Seed: int64(100 * (i + 1))}.Build()
+		s := rel.Gen{N: 20000, Dist: sh.dist, Seed: int64(100*(i+1) + 1)}.Probe(r, sh.sel)
+		q, err := svc.SubmitAuto(context.Background(), r, s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := q.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := rel.NaiveJoinCount(r, s); res.Matches != want {
+			t.Fatalf("shape %d: %d matches, want %d", i, res.Matches, want)
+		}
+	}
+	st := svc.Stats()
+	if st.PlanMisses != int64(len(shapes)) || st.PlanEntries != len(shapes) {
+		t.Errorf("misses %d entries %d, want %d each", st.PlanMisses, st.PlanEntries, len(shapes))
 	}
 }
