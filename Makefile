@@ -37,7 +37,7 @@ bench:
 bench-json:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > BENCH_parallel.json
-	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
+	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
 	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > BENCH_plan.json
 	@echo "wrote BENCH_parallel.json BENCH_service.json BENCH_plan.json"
 
@@ -50,7 +50,7 @@ bench-json:
 bench-check:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > /tmp/apujoin-bench-parallel.json
-	$(GO) test -run=NONE -bench=BenchmarkServiceThroughput -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
+	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
 	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
 	$(BENCHJSON) -compare BENCH_parallel.json /tmp/apujoin-bench-parallel.json -tol $(BENCH_TOL)
 	$(BENCHJSON) -compare BENCH_service.json /tmp/apujoin-bench-service.json -tol $(BENCH_TOL)

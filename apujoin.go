@@ -15,15 +15,20 @@
 // are simulated by the device model, since this environment has no OpenCL
 // runtime or APU silicon (see DESIGN.md for the substitution table).
 //
-// Quickstart:
+// Quickstart — an Engine owns the resident worker pool, the plan cache
+// and a relation catalog; data registers once and joins reference it by
+// name:
 //
-//	r := apujoin.Gen{N: 1 << 20, Seed: 1}.Build()
-//	s := apujoin.Gen{N: 1 << 20, Seed: 2}.Probe(r, 1.0)
-//	res, err := apujoin.Join(r, s, apujoin.Options{
-//		Algo:   apujoin.PHJ,
-//		Scheme: apujoin.PL,
-//	})
+//	eng := apujoin.NewEngine()
+//	defer eng.Close()
+//	eng.Register("orders", apujoin.Gen{N: 1 << 20, Seed: 1})
+//	eng.RegisterProbe("lineitem", "orders", apujoin.Gen{N: 1 << 20, Seed: 2}, 1.0)
+//	res, err := eng.Join(ctx, apujoin.Ref("orders"), apujoin.Ref("lineitem"),
+//		apujoin.WithAlgo(apujoin.PHJ), apujoin.WithScheme(apujoin.PL))
 //	fmt.Println(res.Matches, res.TotalNS)
+//
+// The package-level Join/JoinCtx/JoinExternal remain as thin shims over a
+// process-wide default engine for the original inline calling convention.
 package apujoin
 
 import (
@@ -130,27 +135,31 @@ const (
 var ErrExceedsZeroCopy = core.ErrExceedsZeroCopy
 
 // Join executes one hash join of R ⋈ S under the configured algorithm,
-// co-processing scheme and architecture.
+// co-processing scheme and architecture — a thin shim over the default
+// engine with inline sources. When opt.Workers is zero and no pool is
+// injected, the join runs on the default engine's resident workers
+// (results are identical either way; only host wall-clock can differ).
 func Join(r, s Relation, opt Options) (*Result, error) {
-	return core.Run(r, s, opt)
+	return JoinCtx(context.Background(), r, s, opt)
 }
 
 // JoinCtx is Join with cancellation: a cancelled context aborts the join at
 // the next step boundary. Join is re-entrant; any number of joins may run
-// concurrently (see internal/service for the multi-query service layer).
+// concurrently (see Engine and internal/service for the richer surfaces).
 func JoinCtx(ctx context.Context, r, s Relation, opt Options) (*Result, error) {
-	return core.RunCtx(ctx, r, s, opt)
+	return Default().Join(ctx, Inline(r), Inline(s), WithOptions(opt))
 }
 
 // JoinExternal joins relations whose footprint exceeds the zero-copy
-// buffer, partitioning through the buffer in chunks (paper appendix).
+// buffer, partitioning through the buffer in chunks (paper appendix); a
+// shim over the default engine, like Join.
 func JoinExternal(r, s Relation, opt Options) (*ExternalResult, error) {
-	return core.RunExternal(r, s, opt)
+	return JoinExternalCtx(context.Background(), r, s, opt)
 }
 
 // JoinExternalCtx is JoinExternal with cancellation.
 func JoinExternalCtx(ctx context.Context, r, s Relation, opt Options) (*ExternalResult, error) {
-	return core.RunExternalCtx(ctx, r, s, opt)
+	return Default().JoinExternal(ctx, Inline(r), Inline(s), WithOptions(opt))
 }
 
 // NaiveJoinCount is the reference match count (map-based), useful to

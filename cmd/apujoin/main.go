@@ -2,12 +2,18 @@
 // result: exact matches, simulated phase breakdown, chosen ratios, cost
 // model estimate, cache and allocator statistics.
 //
+// The CLI drives the library the way an application would: it starts an
+// Engine, registers the generated relations in its catalog, and joins
+// them by handle.
+//
 // Example:
 //
 //	apujoin -algo phj -scheme pl -r 1048576 -s 4194304 -sel 0.5 -skew high
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +60,6 @@ func main() {
 		Delta:          *delta,
 		SeparateTables: *separate,
 		Grouping:       *grouping,
-		Workers:        *workers,
 	}
 	opt.Alloc.BlockBytes = *block
 	if *basic {
@@ -79,18 +84,37 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}.Build()
-	s := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}.Probe(r, *sel)
+	// One engine owns the worker pool, the plan cache and the relation
+	// catalog; the generated pair registers once and the join references
+	// it by handle. Relations too large for the catalog's zero-copy
+	// budget fall back to inline sources (the join itself then reports
+	// whether it needs the external path).
+	eng := apujoin.NewEngine(apujoin.Workers(*workers))
+	defer eng.Close()
+	ctx := context.Background()
 
-	if auto {
-		planStart := time.Now()
-		pl, perr := apujoin.BuildPlan(r, s, opt)
-		if perr != nil {
-			log.Fatal(perr)
+	rg := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}
+	sg := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}
+	rSrc, sSrc := apujoin.Ref("R"), apujoin.Ref("S")
+	registered := false
+	if _, err := eng.Register("R", rg); err == nil {
+		if _, err := eng.RegisterProbe("S", "R", sg, *sel); err == nil {
+			registered = true
+		} else {
+			_ = eng.Drop("R")
 		}
-		opt.Plan = pl
-		fmt.Printf("auto plan: %s-%s, predicted %.3f ms (planned in %v)\n",
-			pl.Algo, pl.Scheme, pl.PredictedNS/1e6, time.Since(planStart).Round(time.Microsecond))
+	}
+	if !registered {
+		// Either side over the catalog's zero-copy budget: generate
+		// inline (the join itself then reports whether it needs the
+		// external path).
+		r := rg.Build()
+		rSrc, sSrc = apujoin.Inline(r), apujoin.Inline(sg.Probe(r, *sel))
+	}
+
+	opts := []apujoin.JoinOption{apujoin.WithOptions(opt)}
+	if auto {
+		opts = append(opts, apujoin.WithAuto())
 	}
 
 	hostLine := func(wall time.Duration) {
@@ -98,11 +122,11 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := apujoin.Join(r, s, opt)
+	res, err := eng.Join(ctx, rSrc, sSrc, opts...)
 	wall := time.Since(start)
-	if err == apujoin.ErrExceedsZeroCopy {
+	if errors.Is(err, apujoin.ErrExceedsZeroCopy) {
 		extStart := time.Now()
-		ext, eerr := apujoin.JoinExternal(r, s, opt)
+		ext, eerr := eng.JoinExternal(ctx, rSrc, sSrc, opts...)
 		if eerr != nil {
 			log.Fatal(eerr)
 		}
@@ -115,9 +139,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if auto {
+		fmt.Printf("auto plan: %s-%s (chosen by the planner via the shared plan cache)\n",
+			res.Algo, res.Scheme)
+	}
 
 	fmt.Printf("%s-%s on %s: %d ⋈ %d tuples → %d matches\n",
-		res.Algo, res.Scheme, res.Arch, r.Len(), s.Len(), res.Matches)
+		res.Algo, res.Scheme, res.Arch, *nr, *ns, res.Matches)
 	fmt.Printf("total      %10.3f ms (estimated %.3f, lock overhead %.3f)\n",
 		res.TotalNS/1e6, res.EstimatedNS/1e6, res.LockOverheadNS/1e6)
 	fmt.Printf("partition  %10.3f ms\nbuild      %10.3f ms\nprobe      %10.3f ms\n",

@@ -1,201 +1,48 @@
 // Command apujoind serves co-processed hash joins over HTTP/JSON: a
-// long-lived multi-query service with one resident worker pool, bounded
-// admission, per-query cancellation and a metrics surface.
+// long-lived multi-query service with one resident worker pool, a relation
+// catalog (register data once, join by name), bounded admission with batch
+// submission, per-query cancellation and a metrics surface.
 //
 //	apujoind -addr :8417 -workers 0 -max-concurrent 4 -queue 64
 //
 // Endpoints:
 //
-//	POST /v1/join      submit a join; {"wait":true} blocks for the result
-//	GET  /v1/queries   list retained queries
-//	GET  /v1/query?id= poll one query
-//	GET  /v1/stats     service metrics
-//	GET  /healthz      liveness
+//	POST   /v1/join        submit a join; {"wait":true} blocks for the result
+//	POST   /v1/batch       submit many joins in one admission transaction
+//	GET    /v1/query?id=   poll one query
+//	DELETE /v1/query?id=   cancel one query
+//	GET    /v1/queries     list retained queries
+//	POST   /v1/relations   register a relation (generate or upload)
+//	GET    /v1/relations   list registered relations with their statistics
+//	DELETE /v1/relations?name=  refcounted delete
+//	GET    /v1/stats       service metrics
+//	GET    /healthz        liveness
 //
-// Example:
+// Example — register once, join by handle:
 //
-//	curl -s localhost:8417/v1/join -d '{"algo":"phj","scheme":"pl","r":1048576,"s":1048576,"wait":true}'
+//	curl -s localhost:8417/v1/relations -d '{"name":"orders","n":1048576,"seed":1}'
+//	curl -s localhost:8417/v1/relations -d '{"name":"lineitem","probe_of":"orders","n":1048576,"sel":0.5,"seed":2}'
+//	curl -s localhost:8417/v1/join -d '{"algo":"phj","scheme":"pl","r_name":"orders","s_name":"lineitem","wait":true}'
 //
-// With algo=auto the adaptive planner picks algorithm, scheme and ratios
-// from a cached workload profile (one pilot per workload shape, then cache
-// hits); the response reports the chosen plan and the cache status:
+// Inline generation specs are still accepted:
 //
 //	curl -s localhost:8417/v1/join -d '{"algo":"auto","r":1048576,"s":1048576,"wait":true}'
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"apujoin/internal/core"
-	"apujoin/internal/rel"
 	"apujoin/internal/service"
 )
-
-// joinRequest is the JSON body of POST /v1/join. Absent fields pick the
-// paper's defaults (SHJ, PL, coupled, 1M ⋈ 1M uniform, selectivity 1).
-// Sel and Seed are pointers so an explicit 0 — a valid selectivity and a
-// valid seed — is distinguishable from "not set".
-type joinRequest struct {
-	Algo      string   `json:"algo"`   // shj | phj | auto (planner decides algo+scheme)
-	Scheme    string   `json:"scheme"` // cpu | gpu | ol | dd | pl | basicunit | coarsepl; ignored with algo=auto
-	Arch      string   `json:"arch"`   // coupled | discrete
-	R         int      `json:"r"`      // build tuples
-	S         int      `json:"s"`      // probe tuples
-	Sel       *float64 `json:"sel"`    // selectivity [0,1]
-	Skew      string   `json:"skew"`   // uniform | low | high
-	Seed      *int64   `json:"seed"`
-	Separate  bool     `json:"separate"`
-	Grouping  bool     `json:"grouping"`
-	Delta     float64  `json:"delta"`
-	CountOnly bool     `json:"count_only"`
-	// Wait blocks the request until the query finishes and returns the
-	// full result; otherwise the response carries the query id to poll.
-	Wait bool `json:"wait"`
-}
-
-// joinResponse reports a finished (or submitted) query.
-type joinResponse struct {
-	ID      int64        `json:"id"`
-	State   string       `json:"state"`
-	Matches int64        `json:"matches,omitempty"`
-	TotalMS float64      `json:"total_ms,omitempty"`
-	Phases  *phaseReport `json:"phases,omitempty"`
-	Plan    *planReport  `json:"plan,omitempty"`
-	WallMS  float64      `json:"wall_ms,omitempty"`
-	Error   string       `json:"error,omitempty"`
-}
-
-// planReport is the planner's decision for an algo=auto query.
-type planReport struct {
-	Algo        string  `json:"algo"`
-	Scheme      string  `json:"scheme"`
-	Cache       string  `json:"cache"` // "hit" | "miss"
-	PredictedMS float64 `json:"predicted_ms"`
-}
-
-type phaseReport struct {
-	PartitionMS float64 `json:"partition_ms"`
-	BuildMS     float64 `json:"build_ms"`
-	ProbeMS     float64 `json:"probe_ms"`
-	MergeMS     float64 `json:"merge_ms"`
-	TransferMS  float64 `json:"transfer_ms"`
-}
-
-func parseRequest(req joinRequest, maxTuples int) (rel.Relation, rel.Relation, core.Options, bool, error) {
-	var opt core.Options
-	var zero rel.Relation
-	var err error
-
-	// algo=auto hands algorithm and scheme to the planner; the service's
-	// shared plan cache amortizes the decision across repeated shapes.
-	auto := strings.EqualFold(req.Algo, "auto")
-	if !auto {
-		if opt.Algo, err = core.ParseAlgo(req.Algo); err != nil {
-			return zero, zero, opt, false, err
-		}
-		if opt.Scheme, err = core.ParseScheme(req.Scheme); err != nil {
-			return zero, zero, opt, false, err
-		}
-	} else if req.Scheme != "" {
-		return zero, zero, opt, false, fmt.Errorf("algo=auto picks the scheme; drop %q", req.Scheme)
-	}
-	if opt.Arch, err = core.ParseArch(req.Arch); err != nil {
-		return zero, zero, opt, false, err
-	}
-	dist, err := rel.ParseDistribution(req.Skew)
-	if err != nil {
-		return zero, zero, opt, false, err
-	}
-
-	nr, ns := req.R, req.S
-	if nr == 0 {
-		nr = 1 << 20
-	}
-	if ns == 0 {
-		ns = 1 << 20
-	}
-	if nr < 0 || ns < 0 {
-		return zero, zero, opt, false, fmt.Errorf("negative relation size r=%d s=%d", nr, ns)
-	}
-	if nr > maxTuples || ns > maxTuples {
-		return zero, zero, opt, false, fmt.Errorf("relation size exceeds -max-tuples %d", maxTuples)
-	}
-	sel := 1.0
-	if req.Sel != nil {
-		sel = *req.Sel
-	}
-	if sel < 0 || sel > 1 {
-		return zero, zero, opt, false, fmt.Errorf("selectivity %v out of [0,1]", sel)
-	}
-	seed := int64(42)
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-
-	opt.SeparateTables = req.Separate
-	opt.Grouping = req.Grouping
-	opt.Delta = req.Delta
-	opt.CountOnly = req.CountOnly
-
-	r := rel.Gen{N: nr, Dist: dist, Seed: seed}.Build()
-	s := rel.Gen{N: ns, Dist: dist, Seed: seed + 1}.Probe(r, sel)
-	return r, s, opt, auto, nil
-}
-
-func response(q *service.Query) joinResponse {
-	info := q.Snapshot()
-	resp := joinResponse{ID: info.ID, State: info.State, Error: info.Error}
-	if info.Plan != nil {
-		cache := "miss"
-		if info.Plan.CacheHit {
-			cache = "hit"
-		}
-		resp.Plan = &planReport{
-			Algo:        info.Plan.Algo,
-			Scheme:      info.Plan.Scheme,
-			Cache:       cache,
-			PredictedMS: info.Plan.PredictedNS / 1e6,
-		}
-	}
-	if res, err, ok := q.Result(); ok && err == nil && res != nil {
-		resp.Matches = res.Matches
-		resp.TotalMS = res.TotalNS / 1e6
-		resp.Phases = &phaseReport{
-			PartitionMS: res.PartitionNS / 1e6,
-			BuildMS:     res.BuildNS / 1e6,
-			ProbeMS:     res.ProbeNS / 1e6,
-			MergeMS:     res.MergeNS / 1e6,
-			TransferMS:  res.TransferNS / 1e6,
-		}
-		resp.WallMS = float64(info.WallNS) / 1e6
-	}
-	return resp
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
 
 func main() {
 	addr := flag.String("addr", ":8417", "listen address")
@@ -204,7 +51,9 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	keep := flag.Int("keep", 1024, "finished queries retained for polling")
 	maxTuples := flag.Int("max-tuples", 1<<24, "largest accepted relation size")
+	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes")
 	planCache := flag.Int("plan-cache", 0, "plan cache capacity for algo=auto queries (0 = default)")
+	catalogBytes := flag.Int64("catalog-bytes", 0, "zero-copy budget for registered relations (0 = 512 MB)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -212,8 +61,8 @@ func main() {
 	}
 	// service.Options treats <= 0 as "use the default", so zero would be
 	// silently coerced; reject it rather than surprise the operator.
-	if *queue < 1 || *keep < 1 || *maxTuples < 1 {
-		log.Fatalf("apujoind: -queue, -keep and -max-tuples must be >= 1")
+	if *queue < 1 || *keep < 1 || *maxTuples < 1 || *maxBody < 1 {
+		log.Fatalf("apujoind: -queue, -keep, -max-tuples and -max-body must be >= 1")
 	}
 	if *maxConc == 0 {
 		w := *workers
@@ -232,77 +81,11 @@ func main() {
 		MaxQueue:      *queue,
 		KeepResults:   *keep,
 		PlanCache:     *planCache,
+		CatalogBytes:  *catalogBytes,
 	})
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
-		var req joinRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		rr, rs, opt, auto, err := parseRequest(req, *maxTuples)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		// The query's lifetime is the service's, not the HTTP request's:
-		// a fire-and-poll submission keeps running after this handler
-		// returns. A waiting client that disconnects cancels its query.
-		qctx := context.Background()
-		if req.Wait {
-			qctx = r.Context()
-		}
-		submit := svc.Submit
-		if auto {
-			submit = svc.SubmitAuto
-		}
-		q, err := submit(qctx, rr, rs, opt)
-		switch {
-		case errors.Is(err, service.ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		case errors.Is(err, service.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if !req.Wait {
-			writeJSON(w, http.StatusAccepted, response(q))
-			return
-		}
-		if _, err := q.Wait(r.Context()); err != nil && !errors.Is(err, context.Canceled) {
-			writeJSON(w, http.StatusInternalServerError, response(q))
-			return
-		}
-		writeJSON(w, http.StatusOK, response(q))
-	})
-	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
-			return
-		}
-		q, ok := svc.Query(id)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("query %d not found", id))
-			return
-		}
-		writeJSON(w, http.StatusOK, response(q))
-	})
-	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Queries())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	handler := newServer(svc, serverConfig{maxTuples: *maxTuples, maxBody: *maxBody})
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,555 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+	"apujoin/internal/service"
+)
+
+// serverConfig bounds what the HTTP surface accepts.
+type serverConfig struct {
+	// maxTuples is the largest accepted relation size (generated or
+	// uploaded).
+	maxTuples int
+	// maxBody bounds every request body via http.MaxBytesReader; oversize
+	// bodies get a structured 413.
+	maxBody int64
+}
+
+func (c *serverConfig) setDefaults() {
+	if c.maxTuples <= 0 {
+		c.maxTuples = 1 << 24
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 32 << 20
+	}
+}
+
+// joinRequest is the JSON body of POST /v1/join and each element of a
+// batch. A join either references registered relations (r_name/s_name —
+// both or neither) or carries an inline generation spec; absent inline
+// fields pick the paper's defaults (SHJ, PL, coupled, 1M ⋈ 1M uniform,
+// selectivity 1). Sel and Seed are pointers so an explicit 0 — a valid
+// selectivity and a valid seed — is distinguishable from "not set".
+type joinRequest struct {
+	// RName/SName reference relations registered via POST /v1/relations;
+	// the service pins both for the query's lifetime and reuses their
+	// ingest-time statistics in the planner fingerprint.
+	RName string `json:"r_name"`
+	SName string `json:"s_name"`
+
+	Algo      string   `json:"algo"`   // shj | phj | auto (planner decides algo+scheme)
+	Scheme    string   `json:"scheme"` // cpu | gpu | ol | dd | pl | basicunit | coarsepl; ignored with algo=auto
+	Arch      string   `json:"arch"`   // coupled | discrete
+	R         int      `json:"r"`      // build tuples (inline generation)
+	S         int      `json:"s"`      // probe tuples (inline generation)
+	Sel       *float64 `json:"sel"`    // selectivity [0,1]
+	Skew      string   `json:"skew"`   // uniform | low | high
+	Seed      *int64   `json:"seed"`
+	Separate  bool     `json:"separate"`
+	Grouping  bool     `json:"grouping"`
+	Delta     float64  `json:"delta"`
+	CountOnly bool     `json:"count_only"`
+	// Wait blocks the request until the query finishes and returns the
+	// full result; otherwise the response carries the query id to poll.
+	Wait bool `json:"wait"`
+}
+
+// batchRequest is the JSON body of POST /v1/batch: many joins admitted in
+// one transaction (all-or-nothing; a full queue rejects the whole batch).
+type batchRequest struct {
+	Queries []joinRequest `json:"queries"`
+	// Wait blocks until every query of the batch finishes.
+	Wait bool `json:"wait"`
+}
+
+// batchResponse reports a batch, element i describing Queries[i].
+type batchResponse struct {
+	Queries []joinResponse `json:"queries"`
+}
+
+// relationRequest is the JSON body of POST /v1/relations. Exactly one of
+// three forms: a build-relation generator spec (n, skew, seed, key_range),
+// a probe generator spec against a registered build relation (probe_of,
+// sel plus the generator fields), or a bulk upload (keys, optional rids).
+type relationRequest struct {
+	Name string `json:"name"`
+
+	// Generator spec.
+	N        int    `json:"n"`
+	Skew     string `json:"skew"`
+	Seed     *int64 `json:"seed"`
+	KeyRange int    `json:"key_range"`
+
+	// Probe spec: generate against this registered build relation with
+	// the given match selectivity.
+	ProbeOf string   `json:"probe_of"`
+	Sel     *float64 `json:"sel"`
+
+	// Bulk upload.
+	Keys []int32 `json:"keys"`
+	RIDs []int32 `json:"rids"`
+}
+
+// joinResponse reports a finished (or submitted) query.
+type joinResponse struct {
+	ID      int64        `json:"id"`
+	State   string       `json:"state"`
+	Matches int64        `json:"matches,omitempty"`
+	TotalMS float64      `json:"total_ms,omitempty"`
+	Phases  *phaseReport `json:"phases,omitempty"`
+	Plan    *planReport  `json:"plan,omitempty"`
+	WallMS  float64      `json:"wall_ms,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// planReport is the planner's decision for an algo=auto query.
+type planReport struct {
+	Algo        string  `json:"algo"`
+	Scheme      string  `json:"scheme"`
+	Cache       string  `json:"cache"` // "hit" | "miss"
+	PredictedMS float64 `json:"predicted_ms"`
+}
+
+type phaseReport struct {
+	PartitionMS float64 `json:"partition_ms"`
+	BuildMS     float64 `json:"build_ms"`
+	ProbeMS     float64 `json:"probe_ms"`
+	MergeMS     float64 `json:"merge_ms"`
+	TransferMS  float64 `json:"transfer_ms"`
+}
+
+// parseJoin turns one joinRequest into a service.JoinSpec, generating
+// inline data when the request does not reference the catalog.
+func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
+	var spec service.JoinSpec
+	var err error
+
+	// algo=auto hands algorithm and scheme to the planner; the service's
+	// shared plan cache amortizes the decision across repeated shapes.
+	spec.Auto = strings.EqualFold(req.Algo, "auto")
+	if !spec.Auto {
+		if spec.Opt.Algo, err = core.ParseAlgo(req.Algo); err != nil {
+			return spec, err
+		}
+		if spec.Opt.Scheme, err = core.ParseScheme(req.Scheme); err != nil {
+			return spec, err
+		}
+	} else if req.Scheme != "" {
+		return spec, fmt.Errorf("algo=auto picks the scheme; drop %q", req.Scheme)
+	}
+	if spec.Opt.Arch, err = core.ParseArch(req.Arch); err != nil {
+		return spec, err
+	}
+	spec.Opt.SeparateTables = req.Separate
+	spec.Opt.Grouping = req.Grouping
+	spec.Opt.Delta = req.Delta
+	spec.Opt.CountOnly = req.CountOnly
+
+	if req.RName != "" || req.SName != "" {
+		if req.RName == "" || req.SName == "" {
+			return spec, fmt.Errorf("set both r_name and s_name or neither (r_name %q, s_name %q)", req.RName, req.SName)
+		}
+		if req.R != 0 || req.S != 0 || req.Sel != nil || req.Seed != nil || req.Skew != "" {
+			return spec, fmt.Errorf("inline generation fields (r, s, sel, seed, skew) conflict with r_name/s_name")
+		}
+		spec.RName, spec.SName = req.RName, req.SName
+		return spec, nil
+	}
+
+	dist, err := rel.ParseDistribution(req.Skew)
+	if err != nil {
+		return spec, err
+	}
+	nr, ns := req.R, req.S
+	if nr == 0 {
+		nr = 1 << 20
+	}
+	if ns == 0 {
+		ns = 1 << 20
+	}
+	if nr < 0 || ns < 0 {
+		return spec, fmt.Errorf("negative relation size r=%d s=%d", nr, ns)
+	}
+	if nr > maxTuples || ns > maxTuples {
+		return spec, fmt.Errorf("relation size exceeds -max-tuples %d", maxTuples)
+	}
+	sel := 1.0
+	if req.Sel != nil {
+		sel = *req.Sel
+	}
+	if sel < 0 || sel > 1 {
+		return spec, fmt.Errorf("selectivity %v out of [0,1]", sel)
+	}
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	spec.R = rel.Gen{N: nr, Dist: dist, Seed: seed}.Build()
+	spec.S = rel.Gen{N: ns, Dist: dist, Seed: seed + 1}.Probe(spec.R, sel)
+	return spec, nil
+}
+
+func response(q *service.Query) joinResponse {
+	info := q.Snapshot()
+	resp := joinResponse{ID: info.ID, State: info.State, Error: info.Error}
+	if info.Plan != nil {
+		cache := "miss"
+		if info.Plan.CacheHit {
+			cache = "hit"
+		}
+		resp.Plan = &planReport{
+			Algo:        info.Plan.Algo,
+			Scheme:      info.Plan.Scheme,
+			Cache:       cache,
+			PredictedMS: info.Plan.PredictedNS / 1e6,
+		}
+	}
+	if res, err, ok := q.Result(); ok && err == nil && res != nil {
+		resp.Matches = res.Matches
+		resp.TotalMS = res.TotalNS / 1e6
+		resp.Phases = &phaseReport{
+			PartitionMS: res.PartitionNS / 1e6,
+			BuildMS:     res.BuildNS / 1e6,
+			ProbeMS:     res.ProbeNS / 1e6,
+			MergeMS:     res.MergeNS / 1e6,
+			TransferMS:  res.TransferNS / 1e6,
+		}
+		resp.WallMS = float64(info.WallNS) / 1e6
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the structured error envelope every failure path uses:
+// {"error": "...", "status": N}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}
+
+// readJSON decodes one bounded JSON request body into dst with unknown
+// fields rejected, writing the structured 400/413 itself on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("bad request body: trailing data after JSON document"))
+		return false
+	}
+	return true
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, catalog.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// newServer builds the HTTP surface over one join service.
+//
+// Endpoints:
+//
+//	POST   /v1/join        submit a join; {"wait":true} blocks for the result
+//	POST   /v1/batch       submit many joins in one admission transaction
+//	GET    /v1/query?id=   poll one query
+//	DELETE /v1/query?id=   cancel one query
+//	GET    /v1/queries     list retained queries
+//	POST   /v1/relations   register a relation (generate or upload)
+//	GET    /v1/relations   list registered relations with their statistics
+//	DELETE /v1/relations?name=  refcounted delete
+//	GET    /v1/stats       service metrics
+//	GET    /healthz        liveness
+func newServer(svc *service.Service, cfg serverConfig) http.Handler {
+	cfg.setDefaults()
+	mux := http.NewServeMux()
+
+	submit := func(w http.ResponseWriter, r *http.Request, req joinRequest) (*service.Query, bool) {
+		spec, err := parseJoin(req, cfg.maxTuples)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, false
+		}
+		// The query's lifetime is the service's, not the HTTP request's:
+		// a fire-and-poll submission keeps running after this handler
+		// returns. A waiting client that disconnects cancels its query.
+		qctx := context.Background()
+		if req.Wait {
+			qctx = r.Context()
+		}
+		q, err := svc.SubmitSpec(qctx, spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return nil, false
+		}
+		return q, true
+	}
+
+	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if !readJSON(w, r, cfg.maxBody, &req) {
+			return
+		}
+		q, ok := submit(w, r, req)
+		if !ok {
+			return
+		}
+		if !req.Wait {
+			writeJSON(w, http.StatusAccepted, response(q))
+			return
+		}
+		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
+			writeJSON(w, http.StatusInternalServerError, response(q))
+			return
+		}
+		writeJSON(w, http.StatusOK, response(q))
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if !readJSON(w, r, cfg.maxBody, &req) {
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no queries"))
+			return
+		}
+		specs := make([]service.JoinSpec, len(req.Queries))
+		for i, jr := range req.Queries {
+			if jr.Wait {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("query %d of %d: per-query wait is not supported in a batch; set the batch-level wait", i+1, len(req.Queries)))
+				return
+			}
+			spec, err := parseJoin(jr, cfg.maxTuples)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d of %d: %w", i+1, len(req.Queries), err))
+				return
+			}
+			specs[i] = spec
+		}
+		qctx := context.Background()
+		if req.Wait {
+			qctx = r.Context()
+		}
+		qs, err := svc.SubmitBatch(qctx, specs)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		status := http.StatusAccepted
+		if req.Wait {
+			status = http.StatusOK
+			for _, q := range qs {
+				if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
+					status = http.StatusInternalServerError
+					break
+				}
+			}
+		}
+		resp := batchResponse{Queries: make([]joinResponse, len(qs))}
+		for i, q := range qs {
+			resp.Queries[i] = response(q)
+		}
+		writeJSON(w, status, resp)
+	})
+
+	mux.HandleFunc("POST /v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		var req relationRequest
+		if !readJSON(w, r, cfg.maxBody, &req) {
+			return
+		}
+		info, err := registerRelation(svc.Catalog(), req, cfg.maxTuples)
+		if err != nil {
+			writeError(w, relationStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Catalog().List())
+	})
+
+	mux.HandleFunc("DELETE /v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing ?name="))
+			return
+		}
+		info, err := svc.Catalog().Drop(name)
+		if err != nil {
+			writeError(w, relationStatus(err), err)
+			return
+		}
+		// Pins report how many in-flight queries still hold the data; the
+		// name is unbound either way.
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := lookupQuery(w, r, svc)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, response(q))
+	})
+
+	mux.HandleFunc("DELETE /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := lookupQuery(w, r, svc)
+		if !ok {
+			return
+		}
+		// Cancellation is asynchronous: a queued query drops immediately,
+		// a running one aborts at its next step boundary. The snapshot
+		// reflects whatever state the query has reached by now.
+		q.Cancel()
+		writeJSON(w, http.StatusAccepted, response(q))
+	})
+
+	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Queries())
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+// lookupQuery resolves ?id= to a retained query, writing the 400/404
+// itself when it cannot.
+func lookupQuery(w http.ResponseWriter, r *http.Request, svc *service.Service) (*service.Query, bool) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return nil, false
+	}
+	q, ok := svc.Query(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("query %d not found", id))
+		return nil, false
+	}
+	return q, true
+}
+
+// registerRelation dispatches a relationRequest to the catalog: bulk
+// upload when keys are present, probe generation when probe_of is set,
+// build generation otherwise.
+func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) (catalog.Info, error) {
+	if req.Name == "" {
+		return catalog.Info{}, errors.New("missing relation name")
+	}
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	// An explicit "keys" array — even an empty one — is a bulk upload; a
+	// generator spec omits the field entirely.
+	if req.Keys != nil {
+		if req.N != 0 || req.ProbeOf != "" || req.Sel != nil || req.Skew != "" || req.KeyRange != 0 {
+			return catalog.Info{}, errors.New("generator fields (n, skew, key_range, probe_of, sel) conflict with keys upload")
+		}
+		if len(req.Keys) > maxTuples {
+			return catalog.Info{}, fmt.Errorf("upload of %d tuples exceeds -max-tuples %d", len(req.Keys), maxTuples)
+		}
+		rids := req.RIDs
+		if rids == nil {
+			rids = make([]int32, len(req.Keys))
+			for i := range rids {
+				rids[i] = int32(i)
+			}
+		}
+		return cat.Load(req.Name, rel.Relation{RIDs: rids, Keys: req.Keys})
+	}
+	if req.RIDs != nil {
+		return catalog.Info{}, errors.New("rids without keys")
+	}
+
+	n := req.N
+	if n == 0 {
+		n = 1 << 20
+	}
+	if n < 0 {
+		return catalog.Info{}, fmt.Errorf("negative relation size n=%d", n)
+	}
+	if n > maxTuples {
+		return catalog.Info{}, fmt.Errorf("relation size %d exceeds -max-tuples %d", n, maxTuples)
+	}
+	dist, err := rel.ParseDistribution(req.Skew)
+	if err != nil {
+		return catalog.Info{}, err
+	}
+	g := rel.Gen{N: n, Dist: dist, Seed: seed, KeyRange: req.KeyRange}
+
+	if req.ProbeOf != "" {
+		sel := 1.0
+		if req.Sel != nil {
+			sel = *req.Sel
+		}
+		if sel < 0 || sel > 1 {
+			return catalog.Info{}, fmt.Errorf("selectivity %v out of [0,1]", sel)
+		}
+		return cat.RegisterProbe(req.Name, req.ProbeOf, g, sel)
+	}
+	if req.Sel != nil {
+		return catalog.Info{}, errors.New("sel without probe_of")
+	}
+	return cat.RegisterGen(req.Name, g)
+}
+
+// relationStatus maps a catalog error to its HTTP status.
+func relationStatus(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, catalog.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrNoSpace):
+		return http.StatusInsufficientStorage
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled)
+}

@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"apujoin/internal/service"
+)
+
+// testServer boots one service + HTTP handler pair for a test.
+func testServer(t *testing.T, opt service.Options, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	svc := service.New(opt)
+	ts := httptest.NewServer(newServer(svc, cfg))
+	t.Cleanup(func() {
+		ts.Close()
+		_ = svc.Close()
+	})
+	return ts
+}
+
+func do(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response: %v", method, url, err)
+	}
+	m, _ := decoded.(map[string]any)
+	if m == nil {
+		// Array responses (listings) are wrapped for uniform access.
+		m = map[string]any{"list": decoded}
+	}
+	return resp.StatusCode, m
+}
+
+// TestRoutesTable drives every /v1 route through its happy path and the
+// documented failure statuses: 400 for malformed or conflicting input,
+// 404 for unknown names and ids, 409 for duplicate registration, 413 for
+// oversized bodies.
+func TestRoutesTable(t *testing.T) {
+	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
+		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 16})
+
+	// Happy-path prologue: register a build + probe pair.
+	if st, resp := do(t, "POST", ts.URL+"/v1/relations",
+		`{"name":"orders","n":30000,"seed":1}`); st != http.StatusCreated {
+		t.Fatalf("register orders: status %d, resp %v", st, resp)
+	}
+	if st, resp := do(t, "POST", ts.URL+"/v1/relations",
+		`{"name":"lineitem","probe_of":"orders","n":30000,"sel":0.5,"seed":2}`); st != http.StatusCreated {
+		t.Fatalf("register lineitem: status %d, resp %v", st, resp)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"join by names", "POST", "/v1/join",
+			`{"algo":"phj","scheme":"dd","delta":0.1,"r_name":"orders","s_name":"lineitem","wait":true}`, 200},
+		{"join inline", "POST", "/v1/join",
+			`{"algo":"shj","scheme":"dd","delta":0.1,"r":20000,"s":20000,"wait":true}`, 200},
+		{"join fire-and-poll", "POST", "/v1/join",
+			`{"algo":"shj","scheme":"dd","delta":0.1,"r_name":"orders","s_name":"lineitem"}`, 202},
+		{"list relations", "GET", "/v1/relations", "", 200},
+		{"list queries", "GET", "/v1/queries", "", 200},
+		{"stats", "GET", "/v1/stats", "", 200},
+		{"healthz", "GET", "/healthz", "", 200},
+
+		{"malformed JSON", "POST", "/v1/join", `{"algo":`, 400},
+		{"unknown field", "POST", "/v1/join", `{"algol":"shj"}`, 400},
+		{"trailing garbage", "POST", "/v1/join", `{"algo":"shj"} extra`, 400},
+		{"bad algo", "POST", "/v1/join", `{"algo":"quantum"}`, 400},
+		{"bad scheme", "POST", "/v1/join", `{"scheme":"warp"}`, 400},
+		{"auto with scheme", "POST", "/v1/join", `{"algo":"auto","scheme":"pl"}`, 400},
+		{"negative size", "POST", "/v1/join", `{"r":-1}`, 400},
+		{"exceeds max-tuples", "POST", "/v1/join", `{"r":2097152}`, 400},
+		{"sel out of range", "POST", "/v1/join", `{"sel":1.5}`, 400},
+		{"one name only", "POST", "/v1/join", `{"r_name":"orders"}`, 400},
+		{"name plus inline", "POST", "/v1/join", `{"r_name":"orders","s_name":"lineitem","r":1024}`, 400},
+		{"unknown relation names", "POST", "/v1/join", `{"r_name":"ghost","s_name":"ghost"}`, 404},
+
+		{"register duplicate", "POST", "/v1/relations", `{"name":"orders","n":64}`, 409},
+		{"register nameless", "POST", "/v1/relations", `{"n":64}`, 400},
+		{"register bad skew", "POST", "/v1/relations", `{"name":"x","n":64,"skew":"extreme"}`, 400},
+		{"probe of unknown", "POST", "/v1/relations", `{"name":"x","probe_of":"ghost","n":64}`, 404},
+		{"sel without probe_of", "POST", "/v1/relations", `{"name":"x","n":64,"sel":0.5}`, 400},
+		{"rids without keys", "POST", "/v1/relations", `{"name":"x","rids":[1,2]}`, 400},
+		{"upload keys+generator conflict", "POST", "/v1/relations", `{"name":"x","n":64,"keys":[1,2]}`, 400},
+		{"delete unknown relation", "DELETE", "/v1/relations?name=ghost", "", 404},
+		{"delete without name", "DELETE", "/v1/relations", "", 400},
+
+		{"poll bad id", "GET", "/v1/query?id=abc", "", 400},
+		{"poll unknown id", "GET", "/v1/query?id=999999", "", 404},
+		{"cancel bad id", "DELETE", "/v1/query?id=abc", "", 400},
+		{"cancel unknown id", "DELETE", "/v1/query?id=999999", "", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, resp := do(t, tc.method, ts.URL+tc.path, tc.body)
+			if st != tc.want {
+				t.Fatalf("%s %s: status %d, want %d (resp %v)", tc.method, tc.path, st, tc.want, resp)
+			}
+			if st >= 400 {
+				if _, ok := resp["error"]; !ok {
+					t.Errorf("error status %d without structured error envelope: %v", st, resp)
+				}
+			}
+		})
+	}
+
+	// Oversized body → 413 with the structured envelope.
+	big := fmt.Sprintf(`{"name":"big","keys":[%s1]}`, strings.Repeat("1,", 40000))
+	if st, resp := do(t, "POST", ts.URL+"/v1/relations", big); st != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, resp %v, want 413", st, resp)
+	}
+
+	// Bulk upload happy path, with ingest-time stats in the response.
+	if st, resp := do(t, "POST", ts.URL+"/v1/relations",
+		`{"name":"uploaded","keys":[1,2,3,4,5],"rids":[10,11,12,13,14]}`); st != http.StatusCreated {
+		t.Errorf("upload: status %d, resp %v", st, resp)
+	} else if resp["tuples"].(float64) != 5 || resp["source"] != "loaded" {
+		t.Errorf("upload info: %v", resp)
+	}
+
+	// An explicitly empty keys array is an empty upload, not a generator
+	// spec: it must register 0 tuples, never a defaulted 1M relation.
+	if st, resp := do(t, "POST", ts.URL+"/v1/relations",
+		`{"name":"emptyrel","keys":[]}`); st != http.StatusCreated {
+		t.Errorf("empty upload: status %d, resp %v", st, resp)
+	} else if resp["tuples"].(float64) != 0 || resp["source"] != "loaded" {
+		t.Errorf("empty upload info: %v", resp)
+	}
+
+	// Refcounted delete reports zero pins once queries finished.
+	if st, resp := do(t, "DELETE", ts.URL+"/v1/relations?name=uploaded", ""); st != 200 {
+		t.Errorf("delete: status %d, resp %v", st, resp)
+	} else if resp["name"] != "uploaded" {
+		t.Errorf("delete info: %v", resp)
+	}
+}
+
+// TestJoinByNameMatchesInline: the HTTP determinism contract — a join over
+// registered relations reports the same matches and simulated total as the
+// identical inline-generated join.
+func TestJoinByNameMatchesInline(t *testing.T) {
+	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
+		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":30000,"seed":42}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":30000,"sel":1,"seed":43}`)
+
+	st, named := do(t, "POST", ts.URL+"/v1/join",
+		`{"algo":"phj","scheme":"dd","delta":0.1,"r_name":"r","s_name":"s","wait":true}`)
+	if st != 200 || named["state"] != "done" {
+		t.Fatalf("named join: status %d, resp %v", st, named)
+	}
+	// The inline default seed is 42 and the probe generator uses seed+1,
+	// matching the registered pair above.
+	st, inline := do(t, "POST", ts.URL+"/v1/join",
+		`{"algo":"phj","scheme":"dd","delta":0.1,"r":30000,"s":30000,"wait":true}`)
+	if st != 200 || inline["state"] != "done" {
+		t.Fatalf("inline join: status %d, resp %v", st, inline)
+	}
+	if named["matches"] != inline["matches"] || named["total_ms"] != inline["total_ms"] {
+		t.Errorf("named join (matches %v, total %v) != inline join (matches %v, total %v)",
+			named["matches"], named["total_ms"], inline["matches"], inline["total_ms"])
+	}
+}
+
+// TestBatchSubmit: one POST /v1/batch admits several queries sharing
+// catalog data; wait=true returns every result and identical queries
+// report identical simulated numbers.
+func TestBatchSubmit(t *testing.T) {
+	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
+		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":25000,"seed":1}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":25000,"sel":1,"seed":2}`)
+
+	q := `{"algo":"shj","scheme":"dd","delta":0.1,"r_name":"r","s_name":"s"}`
+	st, resp := do(t, "POST", ts.URL+"/v1/batch",
+		fmt.Sprintf(`{"queries":[%s,%s,%s],"wait":true}`, q, q, q))
+	if st != 200 {
+		t.Fatalf("batch: status %d, resp %v", st, resp)
+	}
+	queries, ok := resp["queries"].([]any)
+	if !ok || len(queries) != 3 {
+		t.Fatalf("batch response: %v", resp)
+	}
+	first := queries[0].(map[string]any)
+	if first["state"] != "done" {
+		t.Fatalf("batch query state %v", first["state"])
+	}
+	for i, qr := range queries {
+		m := qr.(map[string]any)
+		if m["matches"] != first["matches"] || m["total_ms"] != first["total_ms"] {
+			t.Errorf("batch query %d diverges: %v vs %v", i, m, first)
+		}
+	}
+	// Batch parse errors name the offending element.
+	st, resp = do(t, "POST", ts.URL+"/v1/batch",
+		fmt.Sprintf(`{"queries":[%s,{"algo":"bogus"}]}`, q))
+	if st != 400 || !strings.Contains(resp["error"].(string), "query 2 of 2") {
+		t.Errorf("bad batch element: status %d, resp %v", st, resp)
+	}
+	// Empty batch.
+	if st, _ := do(t, "POST", ts.URL+"/v1/batch", `{"queries":[]}`); st != 400 {
+		t.Errorf("empty batch: status %d, want 400", st)
+	}
+	// Per-query wait is meaningless inside a batch and must be rejected,
+	// not silently ignored.
+	st, resp = do(t, "POST", ts.URL+"/v1/batch",
+		fmt.Sprintf(`{"queries":[{"algo":"shj","scheme":"dd","r_name":"r","s_name":"s","wait":true},%s]}`, q))
+	if st != 400 || !strings.Contains(resp["error"].(string), "batch-level wait") {
+		t.Errorf("per-query wait in batch: status %d, resp %v", st, resp)
+	}
+}
+
+// TestQueueFullAndCancel: with one execution slot and a queue of one, the
+// third concurrent query gets a structured 503; DELETE /v1/query cancels
+// the stuck ones.
+func TestQueueFullAndCancel(t *testing.T) {
+	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 1, MaxQueue: 1},
+		serverConfig{maxTuples: 1 << 23, maxBody: 1 << 20})
+
+	// Big enough to keep the slot busy while the test probes the queue.
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"big","n":4194304,"seed":1}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"bigs","probe_of":"big","n":4194304,"sel":1,"seed":2}`)
+
+	join := `{"algo":"phj","scheme":"pl","r_name":"big","s_name":"bigs"}`
+	st1, r1 := do(t, "POST", ts.URL+"/v1/join", join)
+	if st1 != 202 {
+		t.Fatalf("first join: status %d, resp %v", st1, r1)
+	}
+	st2, r2 := do(t, "POST", ts.URL+"/v1/join", join)
+	if st2 != 202 {
+		t.Fatalf("second join: status %d, resp %v", st2, r2)
+	}
+	st3, r3 := do(t, "POST", ts.URL+"/v1/join", join)
+	if st3 != http.StatusServiceUnavailable {
+		t.Fatalf("third join: status %d, resp %v, want 503", st3, r3)
+	}
+	if _, ok := r3["error"]; !ok {
+		t.Errorf("503 without structured error: %v", r3)
+	}
+
+	// Cancel both; they reach a terminal state (canceled, or done if the
+	// race let one finish first) and free the queue.
+	for _, r := range []map[string]any{r1, r2} {
+		id := int64(r["id"].(float64))
+		if st, resp := do(t, "DELETE", fmt.Sprintf("%s/v1/query?id=%d", ts.URL, id), ""); st != 202 {
+			t.Fatalf("cancel %d: status %d, resp %v", id, st, resp)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			_, resp := do(t, "GET", fmt.Sprintf("%s/v1/query?id=%d", ts.URL, id), "")
+			state := resp["state"].(string)
+			if state == "canceled" || state == "done" || state == "failed" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("query %d stuck in state %q after cancel", id, state)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// With the slot free again, a small query is admitted.
+	if st, resp := do(t, "POST", ts.URL+"/v1/join",
+		`{"algo":"shj","scheme":"dd","delta":0.1,"r":10000,"s":10000,"wait":true}`); st != 200 {
+		t.Errorf("join after cancels: status %d, resp %v", st, resp)
+	}
+}
+
+// TestShutdownNoGoroutineLeaks: serving traffic then closing the server
+// and the service reclaims every goroutine (HTTP handlers, per-query
+// runners, resident pool workers).
+func TestShutdownNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc := service.New(service.Options{Workers: 4, MaxConcurrent: 2})
+	ts := httptest.NewServer(newServer(svc, serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20}))
+
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":20000,"seed":1}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":20000,"sel":1,"seed":2}`)
+	for i := 0; i < 3; i++ {
+		do(t, "POST", ts.URL+"/v1/join", `{"algo":"phj","scheme":"dd","delta":0.1,"r_name":"r","s_name":"s","wait":true}`)
+	}
+	do(t, "DELETE", ts.URL+"/v1/relations?name=r", "")
+
+	ts.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after shutdown: %d, want <= %d", g, before)
+	}
+}

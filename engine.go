@@ -1,0 +1,257 @@
+package apujoin
+
+import (
+	"context"
+	"sync"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/core"
+	"apujoin/internal/plan"
+	"apujoin/internal/service"
+)
+
+// Engine is the long-lived handle the library API is built around: one
+// Engine owns the resident worker pool, the shared plan cache, the
+// zero-copy budget for resident data, and a relation catalog where data is
+// registered once — by generator spec or bulk load, with workload
+// statistics measured at ingest — and referenced by name from any number
+// of joins afterwards (the paper's co-processing schemes assume relations
+// already resident in the region both devices address, Sec. 4).
+//
+//	eng := apujoin.NewEngine()
+//	defer eng.Close()
+//	eng.Register("orders", apujoin.Gen{N: 1 << 20, Seed: 1})
+//	eng.RegisterProbe("lineitem", "orders", apujoin.Gen{N: 1 << 20, Seed: 2}, 1.0)
+//	res, err := eng.Join(ctx, apujoin.Ref("orders"), apujoin.Ref("lineitem"),
+//		apujoin.WithAlgo(apujoin.PHJ), apujoin.WithScheme(apujoin.PL))
+//
+// A catalog-referenced join is bit-identical to the same join with inline
+// relations: registration changes where the data lives and what is
+// re-measured per query, never a single simulated number.
+//
+// Engine.Join is synchronous and runs outside the admission layer of
+// internal/service (the caller bounds its own concurrency); apujoind's
+// HTTP surface layers bounded admission and batching on the same
+// primitives. All methods are safe for concurrent use.
+type Engine struct {
+	svc *service.Service
+}
+
+// engineConfig collects EngineOption settings.
+type engineConfig struct {
+	workers      int
+	planCache    int
+	catalogBytes int64
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+// Workers sizes the engine's resident worker pool; the default (and any
+// value <= 0) is GOMAXPROCS. The worker count changes host wall-clock
+// only — never a match count or a simulated time.
+func Workers(n int) EngineOption { return func(c *engineConfig) { c.workers = n } }
+
+// PlanCacheSize bounds the engine's plan cache (plans per distinct
+// workload fingerprint); <= 0 selects the default capacity.
+func PlanCacheSize(n int) EngineOption { return func(c *engineConfig) { c.planCache = n } }
+
+// CatalogCapacity bounds the zero-copy bytes the engine's registered
+// relations may occupy; <= 0 selects the A8-3870K's 512 MB.
+func CatalogCapacity(bytes int64) EngineOption {
+	return func(c *engineConfig) { c.catalogBytes = bytes }
+}
+
+// NewEngine starts an engine: the resident pool spins up immediately and
+// lives until Close.
+func NewEngine(opts ...EngineOption) *Engine {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Admission bounds (MaxConcurrent/MaxQueue) are a service-layer
+	// concern; Engine.Join is synchronous and bounded by its callers.
+	return &Engine{svc: service.New(service.Options{
+		Workers:      cfg.workers,
+		PlanCache:    cfg.planCache,
+		CatalogBytes: cfg.catalogBytes,
+	})}
+}
+
+// Close stops the engine: running joins finish, the resident pool drains.
+// Close blocks until no engine goroutine remains and is idempotent.
+func (e *Engine) Close() error { return e.svc.Close() }
+
+// Source names one side of a join: a catalog reference (Ref) or an inline
+// relation (Inline). The zero value is an empty inline relation.
+type Source struct {
+	name string
+	rel  Relation
+}
+
+// Ref references the relation registered under name in the engine's
+// catalog. The join pins the entry for its duration, so a concurrent Drop
+// cannot pull the data out from under it.
+func Ref(name string) Source { return Source{name: name} }
+
+// Inline carries a caller-held relation into a single join, the pre-Engine
+// calling convention. Inline joins are measured per query; registering the
+// relation instead moves generation and measurement to ingest.
+func Inline(r Relation) Source { return Source{rel: r} }
+
+// RelationInfo describes one registered relation: size, provenance,
+// ingest-time workload statistics, and the pins held by in-flight queries.
+type RelationInfo = catalog.Info
+
+// Register generates and registers a build relation from a spec (keys are
+// a permutation of [1, KeyRange] — the primary-key side of a join).
+func (e *Engine) Register(name string, g Gen) (RelationInfo, error) {
+	return e.svc.Catalog().RegisterGen(name, g)
+}
+
+// RegisterProbe generates and registers a probe relation against the
+// registered build relation of: the given fraction of its tuples carry
+// keys present in the build side, with g's skew applied — exactly
+// g.Probe(build, selectivity), so the result is bit-identical to inline
+// generation from the same spec.
+func (e *Engine) RegisterProbe(name, of string, g Gen, selectivity float64) (RelationInfo, error) {
+	return e.svc.Catalog().RegisterProbe(name, of, g, selectivity)
+}
+
+// Load registers an existing relation (bulk load). The columns are
+// retained, not copied; the caller must not mutate them afterwards.
+func (e *Engine) Load(name string, r Relation) (RelationInfo, error) {
+	return e.svc.Catalog().Load(name, r)
+}
+
+// Drop unregisters a relation: the name unbinds immediately while joins
+// already referencing the entry keep their data; the resident bytes free
+// when the last one finishes.
+func (e *Engine) Drop(name string) error {
+	_, err := e.svc.Catalog().Drop(name)
+	return err
+}
+
+// Relations lists the registered relations, sorted by name.
+func (e *Engine) Relations() []RelationInfo { return e.svc.Catalog().List() }
+
+// Relation returns one registered relation's info.
+func (e *Engine) Relation(name string) (RelationInfo, bool) { return e.svc.Catalog().Get(name) }
+
+// resolve pins catalog references and returns the concrete relations plus
+// a release func and, for named pairs, the ingest-time workload statistics.
+// Unlike the service layer's resolver (which mirrors the HTTP contract and
+// requires both names or neither), the engine deliberately accepts mixed
+// Ref/Inline pairs — a library caller joining resident data against a
+// relation it just built; ingest statistics are only reusable when both
+// sides are catalog entries.
+func (e *Engine) resolve(r, s Source, auto bool) (rr, sr Relation, release func(), wl *plan.Workload, err error) {
+	release = func() {}
+	cat := e.svc.Catalog()
+	if r.name == "" && s.name == "" {
+		return r.rel, s.rel, release, nil, nil
+	}
+	var pins []*catalog.Entry
+	release = func() {
+		for _, p := range pins {
+			p.Release()
+		}
+	}
+	re, se := (*catalog.Entry)(nil), (*catalog.Entry)(nil)
+	if r.name != "" {
+		if re, err = cat.Acquire(r.name); err != nil {
+			return rr, sr, release, nil, err
+		}
+		pins = append(pins, re)
+		rr = re.Relation()
+	} else {
+		rr = r.rel
+	}
+	if s.name != "" {
+		if se, err = cat.Acquire(s.name); err != nil {
+			release()
+			return rr, sr, func() {}, nil, err
+		}
+		pins = append(pins, se)
+		sr = se.Relation()
+	} else {
+		sr = s.rel
+	}
+	if auto && re != nil && se != nil {
+		w := cat.Workload(re, se)
+		wl = &w
+	}
+	return rr, sr, release, wl, nil
+}
+
+// Join executes one hash join of R ⋈ S on the engine: sources resolve
+// against the catalog (Ref) or come inline, options configure the run
+// (WithAlgo, WithScheme, ... — the zero set is a coupled-architecture
+// SHJ-PL). Unless WithWorkers requests a dedicated pool, the join runs on
+// the engine's resident workers. WithAuto consults the engine's shared
+// plan cache; a catalog-referenced pair plans from its ingest-time
+// statistics without re-measuring the data.
+func (e *Engine) Join(ctx context.Context, r, s Source, opts ...JoinOption) (*Result, error) {
+	cfg := applyJoinOptions(opts)
+	rr, sr, release, wl, err := e.resolve(r, s, cfg.auto)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	opt := cfg.opt
+	if cfg.auto {
+		pl, _, perr := e.svc.PlanFor(ctx, rr, sr, opt, wl)
+		if perr != nil {
+			return nil, perr
+		}
+		opt.Plan = pl
+	}
+	e.injectPool(&opt)
+	return core.RunCtx(ctx, rr, sr, opt)
+}
+
+// JoinExternal joins relations whose footprint exceeds the zero-copy
+// buffer, partitioning through it in chunks (paper appendix). Sources and
+// options follow Join; WithAuto carries only the planned algorithm and
+// scheme into the per-pair sub-joins.
+func (e *Engine) JoinExternal(ctx context.Context, r, s Source, opts ...JoinOption) (*ExternalResult, error) {
+	cfg := applyJoinOptions(opts)
+	rr, sr, release, wl, err := e.resolve(r, s, cfg.auto)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	opt := cfg.opt
+	if cfg.auto {
+		pl, _, perr := e.svc.PlanFor(ctx, rr, sr, opt, wl)
+		if perr != nil {
+			return nil, perr
+		}
+		opt.Plan = pl
+	}
+	e.injectPool(&opt)
+	return core.RunExternalCtx(ctx, rr, sr, opt)
+}
+
+// injectPool routes the run onto the engine's resident pool unless the
+// caller asked for a dedicated transient pool (WithWorkers / a legacy
+// Options.Workers) or injected a pool of their own. Pool choice never
+// changes results, only host wall-clock.
+func (e *Engine) injectPool(opt *core.Options) {
+	if opt.Pool == nil && opt.Workers == 0 {
+		opt.Pool = e.svc.Pool()
+	}
+}
+
+// default engine backing the package-level Join/JoinCtx/JoinExternal
+// shims, started on first use and alive for the process's lifetime.
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine the package-level shims run on.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}

@@ -23,12 +23,14 @@ import (
 	"apujoin/internal/rel"
 )
 
-// fingerprintSample bounds how many probe tuples the workload measurement
-// touches; sampling is strided so clustered or sorted inputs are covered
-// evenly. The build relation is scanned once (cheap next to a pilot) so
-// the selectivity measurement is exact membership, not an estimate over a
-// second sample.
-const fingerprintSample = 4096
+// WorkloadSample bounds how many probe tuples the workload measurement
+// touches; sampling is strided (rel.Relation.KeySample) so clustered or
+// sorted inputs are covered evenly. The build relation is scanned once
+// (cheap next to a pilot) so the selectivity measurement is exact
+// membership, not an estimate over a second sample. Exported so the
+// relation catalog samples at the identical positions at ingest and its
+// precomputed buckets equal the per-query measurement bit for bit.
+const WorkloadSample = 4096
 
 // Skew-bucket thresholds on the sampled heavy-hitter share, placed between
 // the paper's workload classes (uniform, s=10 low skew, s=25 high skew).
@@ -82,11 +84,100 @@ type Fingerprint struct {
 	SelBucket  int
 }
 
-// Of computes the fingerprint of one workload. Options are defaulted
-// first, so an explicit default and an unset field fingerprint alike. The
-// cost is one strided pass over a probe sample plus one scan of the build
-// keys — far below the pilot run the fingerprint exists to amortize.
+// Workload is the measured (data-dependent) part of a fingerprint: the
+// quantized probe-side skew and join selectivity. It is what the relation
+// catalog precomputes at ingest so catalog-referenced queries fingerprint
+// without touching the relations at all.
+type Workload struct {
+	// SkewBucket classifies the sampled heavy-hitter share of the probe
+	// keys: 0 ≈ uniform, 1 ≈ the paper's low skew (s=10), 2 ≈ high skew
+	// (s=25). SelBucket is round(measured selectivity × selBuckets).
+	SkewBucket int `json:"skew_bucket"`
+	SelBucket  int `json:"sel_bucket"`
+}
+
+// MeasureWorkload measures the workload buckets of one R ⋈ S pair: the
+// probe-side skew (heavy-hitter share of a strided key sample) and the
+// join selectivity (exact membership of the sampled probe keys in the full
+// build key set, tested by scanning R once against the small sample map —
+// O(|R|) time, O(sample) memory). Quantization makes equivalent relations
+// from different seeds land in the same bucket.
+func MeasureWorkload(r, s rel.Relation) Workload {
+	if s.Len() == 0 || r.Len() == 0 {
+		return Workload{}
+	}
+	sample := s.KeySample(WorkloadSample)
+	present := make(map[int32]bool, len(sample))
+	for _, k := range sample {
+		present[k] = false
+	}
+	for _, k := range r.Keys {
+		if v, ok := present[k]; ok && !v {
+			present[k] = true
+		}
+	}
+	return Workload{
+		SkewBucket: SkewBucketOf(sample),
+		SelBucket:  SelBucketOf(sample, func(k int32) bool { return present[k] }),
+	}
+}
+
+// SkewBucketOf classifies a probe key sample by its heavy-hitter share,
+// with thresholds placed between the paper's workload classes.
+func SkewBucketOf(sample []int32) int {
+	if len(sample) == 0 {
+		return 0
+	}
+	counts := make(map[int32]int, len(sample))
+	maxCount := 0
+	for _, k := range sample {
+		counts[k]++
+		if counts[k] > maxCount {
+			maxCount = counts[k]
+		}
+	}
+	switch share := float64(maxCount) / float64(len(sample)); {
+	case share < skewLowThreshold:
+		return 0
+	case share < skewHighThreshold:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SelBucketOf quantizes the fraction of sampled probe keys for which
+// contains reports membership in the build key set. The catalog passes a
+// binary search over its ingest-time key index; the inline path passes a
+// lookup into the map MeasureWorkload filled by scanning R — both report
+// the same memberships, so the buckets agree.
+func SelBucketOf(sample []int32, contains func(int32) bool) int {
+	if len(sample) == 0 {
+		return 0
+	}
+	matched := 0
+	for _, k := range sample {
+		if contains(k) {
+			matched++
+		}
+	}
+	return int(math.Round(float64(matched) / float64(len(sample)) * selBuckets))
+}
+
+// Of computes the fingerprint of one workload, measuring the skew and
+// selectivity buckets from the relations. The cost is one strided pass
+// over a probe sample plus one scan of the build keys — far below the
+// pilot run the fingerprint exists to amortize; OfWorkload skips even that
+// when the buckets were measured at catalog ingest.
 func Of(r, s rel.Relation, opt core.Options) Fingerprint {
+	return OfWorkload(r, s, opt, MeasureWorkload(r, s))
+}
+
+// OfWorkload is Of with the measured buckets supplied by the caller — the
+// relation catalog's path, where skew and selectivity were measured once
+// at ingest and every query of the pair reuses them. Options are defaulted
+// first, so an explicit default and an unset field fingerprint alike.
+func OfWorkload(r, s rel.Relation, opt core.Options, w Workload) Fingerprint {
 	opt.Plan = nil
 	opt.SetDefaults()
 	fp := Fingerprint{
@@ -111,62 +202,6 @@ func Of(r, s rel.Relation, opt core.Options) Fingerprint {
 		S:          s.Len(),
 		TupleBytes: 8, // two int32 columns per tuple
 	}
-	fp.SkewBucket, fp.SelBucket = workloadBuckets(r, s)
+	fp.SkewBucket, fp.SelBucket = w.SkewBucket, w.SelBucket
 	return fp
-}
-
-// workloadBuckets measures the probe-side skew (heavy-hitter share of a
-// strided sample) and the join selectivity (exact membership of the
-// sampled probe keys in the full build key set, tested by scanning R once
-// against the small sample map — O(|R|) time, O(sample) memory), then
-// quantizes both so equivalent relations from different seeds land in the
-// same bucket.
-func workloadBuckets(r, s rel.Relation) (skew, sel int) {
-	ns := s.Len()
-	if ns == 0 || r.Len() == 0 {
-		return 0, 0
-	}
-	stride := ns / fingerprintSample
-	if stride < 1 {
-		stride = 1
-	}
-
-	counts := make(map[int32]int, fingerprintSample)
-	sampled := 0
-	for i := 0; i < ns; i += stride {
-		counts[s.Keys[i]]++
-		sampled++
-	}
-	maxCount := 0
-	for _, c := range counts {
-		if c > maxCount {
-			maxCount = c
-		}
-	}
-	switch share := float64(maxCount) / float64(sampled); {
-	case share < skewLowThreshold:
-		skew = 0
-	case share < skewHighThreshold:
-		skew = 1
-	default:
-		skew = 2
-	}
-
-	present := make(map[int32]bool, len(counts))
-	for k := range counts {
-		present[k] = false
-	}
-	for _, k := range r.Keys {
-		if v, ok := present[k]; ok && !v {
-			present[k] = true
-		}
-	}
-	matched := 0
-	for i := 0; i < ns; i += stride {
-		if present[s.Keys[i]] {
-			matched++
-		}
-	}
-	sel = int(math.Round(float64(matched) / float64(sampled) * selBuckets))
-	return skew, sel
 }

@@ -26,7 +26,15 @@ func New(capacity int) *Planner {
 // concurrent identical miss). ctx bounds the caller's wait — see
 // Cache.GetOrBuild for the exact cancellation semantics.
 func (p *Planner) Plan(ctx context.Context, r, s rel.Relation, opt core.Options) (pl *core.Plan, fp Fingerprint, hit bool, err error) {
-	fp = Of(r, s, opt)
+	return p.PlanWorkload(ctx, r, s, opt, MeasureWorkload(r, s))
+}
+
+// PlanWorkload is Plan with the workload's skew/selectivity buckets
+// supplied by the caller instead of measured here — the relation catalog's
+// path, where the buckets were computed once at ingest. A catalog-mediated
+// query therefore fingerprints without reading either relation.
+func (p *Planner) PlanWorkload(ctx context.Context, r, s rel.Relation, opt core.Options, w Workload) (pl *core.Plan, fp Fingerprint, hit bool, err error) {
+	fp = OfWorkload(r, s, opt, w)
 	pl, hit, err = p.cache.GetOrBuild(ctx, fp, func() (*core.Plan, error) {
 		return core.BuildPlan(r, s, opt)
 	})

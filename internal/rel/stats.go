@@ -1,0 +1,47 @@
+package rel
+
+import "sort"
+
+// KeySample returns a strided sample of the relation's keys: every
+// (Len/target)-th key, or every key when the relation has at most target
+// tuples. The stride arithmetic is shared with the planner's workload
+// fingerprint (internal/plan) — a catalog that samples at ingest and a
+// planner that samples per query must walk the identical positions, or the
+// measured skew/selectivity buckets (and with them the fingerprints) would
+// diverge between the two paths.
+func (r Relation) KeySample(target int) []int32 {
+	n := r.Len()
+	if n == 0 || target <= 0 {
+		return nil
+	}
+	stride := n / target
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]int32, 0, (n+stride-1)/stride)
+	for i := 0; i < n; i += stride {
+		sample = append(sample, r.Keys[i])
+	}
+	return sample
+}
+
+// KeyIndex is a sorted copy of a relation's key column, supporting
+// O(log n) membership tests. The relation catalog builds one per
+// registered relation at ingest so per-query selectivity measurement
+// becomes a handful of binary searches over a stored probe sample instead
+// of a full scan of the build relation.
+type KeyIndex []int32
+
+// Index returns the sorted key index of the relation.
+func (r Relation) Index() KeyIndex {
+	ix := make(KeyIndex, len(r.Keys))
+	copy(ix, r.Keys)
+	sort.Slice(ix, func(i, j int) bool { return ix[i] < ix[j] })
+	return ix
+}
+
+// Contains reports whether key k occurs in the indexed relation.
+func (ix KeyIndex) Contains(k int32) bool {
+	i := sort.Search(len(ix), func(i int) bool { return ix[i] >= k })
+	return i < len(ix) && ix[i] == k
+}

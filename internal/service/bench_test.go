@@ -51,3 +51,70 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	// metric the CI benchmark-regression gate diffs.
 	b.ReportMetric(refSimNS, "sim_ns/op")
 }
+
+// BenchmarkCatalogReuse measures what registering data once buys: the
+// end-to-end submit latency of an auto-planned query whose relations are
+// catalog handles (warm: no generation, ingest-time statistics feed the
+// fingerprint, the plan cache hits) against the same query regenerating
+// and re-measuring its relations per submission — apujoind's pre-catalog
+// behavior. Both variants run the identical join, so sim_ns/op is equal by
+// construction and the ns/op gap is pure host-side generation plus
+// measurement. Recorded in BENCH_service.json and gated by bench-check.
+func BenchmarkCatalogReuse(b *testing.B) {
+	const tuples = 1 << 17
+	rg := rel.Gen{N: tuples, Seed: 1}
+	sg := rel.Gen{N: tuples, Seed: 2}
+	opt := core.Options{Delta: 0.1, PilotItems: 1 << 13}
+
+	run := func(b *testing.B, spec func() JoinSpec) {
+		b.Helper()
+		svc := New(Options{MaxConcurrent: 2, MaxQueue: 1 << 20})
+		defer svc.Close()
+		if _, err := svc.Catalog().RegisterGen("r", rg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Catalog().RegisterProbe("s", "r", sg, 1.0); err != nil {
+			b.Fatal(err)
+		}
+		// Prime the shared plan cache outside the timer so both variants
+		// measure steady-state submits, not the one-off pilot.
+		q, err := svc.SubmitSpec(context.Background(), spec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err := q.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(tuples) * 8 * 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q, err := svc.SubmitSpec(context.Background(), spec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := q.Wait(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.TotalNS != ref.TotalNS {
+				b.Fatalf("results drifted: matches %d (want %d), simNS %.0f (want %.0f)",
+					res.Matches, ref.Matches, res.TotalNS, ref.TotalNS)
+			}
+		}
+		b.ReportMetric(ref.TotalNS, "sim_ns/op")
+	}
+
+	b.Run("catalog", func(b *testing.B) {
+		run(b, func() JoinSpec {
+			return JoinSpec{RName: "r", SName: "s", Opt: opt, Auto: true}
+		})
+	})
+	b.Run("inline-regen", func(b *testing.B) {
+		run(b, func() JoinSpec {
+			r := rg.Build()
+			s := sg.Probe(r, 1.0)
+			return JoinSpec{R: r, S: s, Opt: opt, Auto: true}
+		})
+	})
+}

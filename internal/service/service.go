@@ -2,8 +2,11 @@
 // Service owns one resident sched.Pool shared by every query, an admission
 // layer that bounds how many queries execute and wait at once, a shared
 // plan cache behind SubmitAuto (the planner picks algorithm, scheme and
-// ratios; repeated workload shapes skip the pilot entirely), and a metrics
-// surface aggregated across the service's lifetime.
+// ratios; repeated workload shapes skip the pilot entirely), a relation
+// catalog (register data once, join by name — SubmitSpec/SubmitBatch;
+// named queries pin their relations for their lifetime and reuse the
+// catalog's ingest-time statistics in the planner fingerprint), and a
+// metrics surface aggregated across the service's lifetime.
 //
 // The determinism contract of the execution engine extends to the service:
 // a query's match count and every simulated time are bit-identical whether
@@ -17,11 +20,13 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"apujoin/internal/catalog"
 	"apujoin/internal/core"
 	"apujoin/internal/plan"
 	"apujoin/internal/rel"
@@ -53,6 +58,9 @@ type Options struct {
 	// PlanCache bounds the shared plan cache consulted by SubmitAuto;
 	// <= 0 selects plan.DefaultCacheCapacity.
 	PlanCache int
+	// CatalogBytes bounds the zero-copy space the relation catalog's
+	// resident relations may occupy; <= 0 selects the A8-3870K's 512 MB.
+	CatalogBytes int64
 }
 
 func (o *Options) setDefaults() {
@@ -114,6 +122,13 @@ type Query struct {
 	auto    bool
 	plan    *core.Plan
 	planHit bool
+
+	// pins holds the catalog entries a named query references; released
+	// when the query reaches a terminal state. workload carries the
+	// catalog's ingest-time buckets to the planner fingerprint (nil for
+	// inline relations, which the planner measures itself).
+	pins     []*catalog.Entry
+	workload *plan.Workload
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -237,6 +252,9 @@ type Stats struct {
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
 	Rejected  int64 `json:"rejected"`
+	// Batches counts multi-query SubmitBatch admissions (each amortizes
+	// one admission transaction over its queries).
+	Batches int64 `json:"batches"`
 
 	// Queued and Active are gauges: queries waiting for admission and
 	// queries currently executing.
@@ -263,6 +281,11 @@ type Stats struct {
 	PlanPredictedNS float64 `json:"plan_predicted_ns"`
 	PlanSimulatedNS float64 `json:"plan_simulated_ns"`
 	PlanAbsErrNS    float64 `json:"plan_abs_err_ns"`
+
+	// Catalog mirrors the relation catalog: resident relations, their
+	// zero-copy footprint, and how often ingest-time statistics were
+	// reused in place of per-query measurement.
+	Catalog catalog.Stats `json:"catalog"`
 }
 
 // MeanPlanErr returns the mean relative predicted-vs-simulated error of
@@ -280,6 +303,7 @@ type Service struct {
 	opt     Options
 	pool    *sched.Pool
 	planner *plan.Planner
+	catalog *catalog.Catalog
 	// sem holds one slot per concurrently executing query; acquisition
 	// order is the runtime's FIFO for blocked channel sends, which
 	// interleaves waiting queries fairly.
@@ -304,6 +328,7 @@ func New(opt Options) *Service {
 		opt:     opt,
 		pool:    sched.NewPool(opt.Workers),
 		planner: plan.New(opt.PlanCache),
+		catalog: catalog.New(opt.CatalogBytes),
 		sem:     make(chan struct{}, opt.MaxConcurrent),
 		closing: make(chan struct{}),
 		queries: make(map[int64]*Query),
@@ -317,6 +342,24 @@ func New(opt Options) *Service {
 // the admission layer but on the same workers).
 func (s *Service) Pool() *sched.Pool { return s.pool }
 
+// Catalog exposes the relation catalog: register data once (generator
+// spec or bulk load), then submit queries referencing the names.
+func (s *Service) Catalog() *catalog.Catalog { return s.catalog }
+
+// PlanFor consults the service's shared planner and plan cache outside the
+// admission layer (the engine facade's synchronous path). w, when non-nil,
+// supplies precomputed workload buckets — the catalog's ingest-time
+// statistics — so planning touches neither relation; hit reports whether
+// the plan was served without a pilot run.
+func (s *Service) PlanFor(ctx context.Context, r, sr rel.Relation, opt core.Options, w *plan.Workload) (*core.Plan, bool, error) {
+	if w != nil {
+		pl, _, hit, err := s.planner.PlanWorkload(ctx, r, sr, opt, *w)
+		return pl, hit, err
+	}
+	pl, _, hit, err := s.planner.Plan(ctx, r, sr, opt)
+	return pl, hit, err
+}
+
 // Submit enqueues one join R ⋈ S under the per-query options and returns
 // immediately. A free execution slot is claimed on the spot — a burst onto
 // an idle service is never rejected while capacity exists — otherwise the
@@ -326,7 +369,7 @@ func (s *Service) Pool() *sched.Pool { return s.pool }
 // opt.ZeroCopy is nil, its own zero-copy buffer — callers must not share
 // one ZeroCopy across concurrent submissions).
 func (s *Service) Submit(ctx context.Context, r, sr rel.Relation, opt core.Options) (*Query, error) {
-	return s.submit(ctx, r, sr, opt, false)
+	return s.SubmitSpec(ctx, JoinSpec{R: r, S: sr, Opt: opt})
 }
 
 // SubmitAuto is Submit with the algorithm and scheme decided by the
@@ -338,54 +381,184 @@ func (s *Service) Submit(ctx context.Context, r, sr rel.Relation, opt core.Optio
 // the other options are per-query as in Submit and are part of the
 // workload fingerprint where they shape the plan.
 func (s *Service) SubmitAuto(ctx context.Context, r, sr rel.Relation, opt core.Options) (*Query, error) {
-	return s.submit(ctx, r, sr, opt, true)
+	return s.SubmitSpec(ctx, JoinSpec{R: r, S: sr, Opt: opt, Auto: true})
 }
 
-func (s *Service) submit(ctx context.Context, r, sr rel.Relation, opt core.Options, auto bool) (*Query, error) {
+// JoinSpec describes one join for SubmitSpec/SubmitBatch: each side is
+// either an inline relation (R/S) or a catalog reference (RName/SName —
+// both names or neither). Auto hands algorithm, scheme and ratios to the
+// planner; for named pairs the fingerprint reuses the catalog's
+// ingest-time skew/selectivity buckets instead of re-measuring.
+type JoinSpec struct {
+	// R and S are inline relations, used when RName/SName are empty.
+	R, S rel.Relation
+	// RName and SName reference relations registered on the service's
+	// Catalog. The query pins both entries for its lifetime, so a
+	// concurrent Drop cannot pull the data out from under it.
+	RName, SName string
+	// Opt is the per-query options; Pool is overridden with the shared
+	// resident pool.
+	Opt core.Options
+	// Auto ignores Opt.Algo/Opt.Scheme and lets the planner decide, as
+	// SubmitAuto does.
+	Auto bool
+}
+
+// resolvedSpec is a JoinSpec after catalog resolution.
+type resolvedSpec struct {
+	r, s     rel.Relation
+	opt      core.Options
+	auto     bool
+	pins     []*catalog.Entry
+	workload *plan.Workload
+}
+
+func (rs *resolvedSpec) release() {
+	for _, p := range rs.pins {
+		p.Release()
+	}
+}
+
+// resolve pins the catalog entries a spec references and captures their
+// ingest-time workload statistics for the planner.
+func (s *Service) resolve(sp JoinSpec) (resolvedSpec, error) {
+	rs := resolvedSpec{r: sp.R, s: sp.S, opt: sp.Opt, auto: sp.Auto}
+	if (sp.RName == "") != (sp.SName == "") {
+		return rs, fmt.Errorf("service: reference both relations by name or neither (r %q, s %q)", sp.RName, sp.SName)
+	}
+	if sp.RName == "" {
+		return rs, nil
+	}
+	re, err := s.catalog.Acquire(sp.RName)
+	if err != nil {
+		return rs, err
+	}
+	se, err := s.catalog.Acquire(sp.SName)
+	if err != nil {
+		re.Release()
+		return rs, err
+	}
+	rs.r, rs.s = re.Relation(), se.Relation()
+	rs.pins = []*catalog.Entry{re, se}
+	if sp.Auto {
+		w := s.catalog.Workload(re, se)
+		rs.workload = &w
+	}
+	return rs, nil
+}
+
+// SubmitSpec enqueues one join described by a JoinSpec — the general form
+// behind Submit and SubmitAuto that also accepts catalog references.
+func (s *Service) SubmitSpec(ctx context.Context, spec JoinSpec) (*Query, error) {
+	qs, err := s.SubmitBatch(ctx, []JoinSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return qs[0], nil
+}
+
+// SubmitBatch admits many queries in one admission transaction,
+// amortizing catalog resolution, slot claiming and queue accounting over
+// the batch — the fast path for clients submitting many queries over the
+// same registered relations. Admission is all-or-nothing: free execution
+// slots are claimed for as many queries as possible and the rest join the
+// wait queue, but if the queue cannot hold them the whole batch is
+// rejected with ErrQueueFull (no partial admission). ctx cancels every
+// query of the batch while queued or running; per-query options follow
+// the Submit contract.
+func (s *Service) SubmitBatch(ctx context.Context, specs []JoinSpec) ([]*Query, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	// Resolve catalog references before touching admission; pins taken
+	// here are released when each query reaches a terminal state, or
+	// below on rejection.
+	res := make([]resolvedSpec, len(specs))
+	for i, sp := range specs {
+		rs, err := s.resolve(sp)
+		if err != nil {
+			for j := range res[:i] {
+				res[j].release()
+			}
+			return nil, fmt.Errorf("query %d of %d: %w", i+1, len(specs), err)
+		}
+		res[i] = rs
+	}
+	releaseAll := func() {
+		for i := range res {
+			res[i].release()
+		}
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		releaseAll()
 		return nil, ErrClosed
 	}
-	// Immediate admission when a slot is free; only genuinely waiting
+	// Immediate admission when slots are free; only genuinely waiting
 	// queries count against (and are bounded by) the queue.
-	admitted := false
-	select {
-	case s.sem <- struct{}{}:
-		admitted = true
-	default:
+	admitted := make([]bool, len(specs))
+	waiting := 0
+	for i := range specs {
+		select {
+		case s.sem <- struct{}{}:
+			admitted[i] = true
+		default:
+			waiting++
+		}
 	}
-	if !admitted && s.stats.Queued >= int64(s.opt.MaxQueue) {
-		s.stats.Rejected++
+	if waiting > 0 && s.stats.Queued+int64(waiting) > int64(s.opt.MaxQueue) {
+		for _, a := range admitted {
+			if a {
+				<-s.sem
+			}
+		}
+		s.stats.Rejected += int64(len(specs))
 		s.mu.Unlock()
+		releaseAll()
 		return nil, ErrQueueFull
 	}
-	s.nextID++
-	qctx, cancel := context.WithCancel(ctx)
-	q := &Query{
-		ID:     s.nextID,
-		auto:   auto,
-		submit: time.Now(),
-		cancel: cancel,
-		done:   make(chan struct{}),
+	now := time.Now()
+	qs := make([]*Query, len(specs))
+	ctxs := make([]context.Context, len(specs))
+	for i := range specs {
+		s.nextID++
+		qctx, cancel := context.WithCancel(ctx)
+		q := &Query{
+			ID:       s.nextID,
+			auto:     res[i].auto,
+			submit:   now,
+			cancel:   cancel,
+			done:     make(chan struct{}),
+			pins:     res[i].pins,
+			workload: res[i].workload,
+		}
+		if admitted[i] {
+			q.state = Running
+			q.started = now
+			s.stats.Active++
+		} else {
+			s.stats.Queued++
+		}
+		s.queries[q.ID] = q
+		s.order = append(s.order, q.ID)
+		s.stats.Submitted++
+		qs[i], ctxs[i] = q, qctx
 	}
-	if admitted {
-		q.state = Running
-		q.started = q.submit
-		s.stats.Active++
-	} else {
-		s.stats.Queued++
-	}
-	s.queries[q.ID] = q
-	s.order = append(s.order, q.ID)
 	s.evictLocked()
-	s.stats.Submitted++
-	s.wg.Add(1)
+	if len(specs) > 1 {
+		s.stats.Batches++
+	}
+	s.wg.Add(len(specs))
 	s.mu.Unlock()
 
-	opt.Pool = s.pool
-	go s.run(qctx, q, r, sr, opt, admitted)
-	return q, nil
+	for i, q := range qs {
+		opt := res[i].opt
+		opt.Pool = s.pool
+		go s.run(ctxs[i], q, res[i].r, res[i].s, opt, admitted[i])
+	}
+	return qs, nil
 }
 
 // run carries one query from admission through completion.
@@ -446,7 +619,16 @@ func (s *Service) run(ctx context.Context, q *Query, r, sr rel.Relation, opt cor
 		// this shape skips. The plan decides algorithm, scheme and ratios.
 		// The query's context bounds the planning wait, so a cancelled
 		// query frees its slot instead of blocking on another's build.
-		pl, _, hit, perr := s.planner.Plan(ctx, r, sr, opt)
+		// Catalog-referenced pairs carry their ingest-time workload
+		// buckets, so fingerprinting reads neither relation.
+		var pl *core.Plan
+		var hit bool
+		var perr error
+		if q.workload != nil {
+			pl, _, hit, perr = s.planner.PlanWorkload(ctx, r, sr, opt, *q.workload)
+		} else {
+			pl, _, hit, perr = s.planner.Plan(ctx, r, sr, opt)
+		}
 		if perr != nil {
 			st := Failed
 			if errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded) {
@@ -483,6 +665,11 @@ func (s *Service) finish(q *Query, res *core.Result, err error, st State, starte
 	q.finished = now
 	q.mu.Unlock()
 	close(q.done)
+	// The query no longer reads its relations: release its catalog pins
+	// (finish runs exactly once per query, so pins release exactly once).
+	for _, p := range q.pins {
+		p.Release()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -578,6 +765,7 @@ func (s *Service) Stats() Stats {
 	st.PlanMisses = cs.Misses
 	st.PlanEvictions = cs.Evictions
 	st.PlanEntries = cs.Entries
+	st.Catalog = s.catalog.Stats()
 	return st
 }
 
