@@ -7,14 +7,18 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 # Minimum total test coverage (percent) the coverage target enforces.
 # Raise it as coverage grows; never lower it to merge.
-COVERAGE_FLOOR ?= 70
+COVERAGE_FLOOR ?= 78
 
 # Fractional slowdown tolerated by the benchmark-regression gate.
 BENCH_TOL ?= 0.25
 
 BENCHJSON := /tmp/apujoin-benchjson
 
-.PHONY: all build test race bench bench-json bench-check bench-refresh coverage lint lint-install fmt vet check
+.PHONY: all build test race bench bench-json bench-check bench-refresh coverage fuzz lint lint-install fmt vet check
+
+# Budget for the randomized join-oracle fuzz smoke (the committed seed
+# corpus under testdata/fuzz additionally runs as plain unit tests).
+FUZZ_TIME ?= 30s
 
 all: build
 
@@ -38,7 +42,7 @@ bench-json:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > BENCH_parallel.json
 	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
-	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > BENCH_plan.json
+	$(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > BENCH_plan.json
 	@echo "wrote BENCH_parallel.json BENCH_service.json BENCH_plan.json"
 
 # CI benchmark-regression gate: rerun the benchmarks into /tmp and diff
@@ -51,7 +55,7 @@ bench-check:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > /tmp/apujoin-bench-parallel.json
 	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
-	$(GO) test -run=NONE -bench=BenchmarkPlannerAmortization -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
+	$(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
 	$(BENCHJSON) -compare BENCH_parallel.json /tmp/apujoin-bench-parallel.json -tol $(BENCH_TOL)
 	$(BENCHJSON) -compare BENCH_service.json /tmp/apujoin-bench-service.json -tol $(BENCH_TOL)
 	$(BENCHJSON) -compare BENCH_plan.json /tmp/apujoin-bench-plan.json -tol $(BENCH_TOL)
@@ -64,6 +68,13 @@ bench-refresh:
 	cp /tmp/apujoin-bench-parallel.json BENCH_parallel.json
 	cp /tmp/apujoin-bench-service.json BENCH_service.json
 	cp /tmp/apujoin-bench-plan.json BENCH_plan.json
+
+# Explore new inputs against the brute-force join oracle: every algorithm ×
+# scheme combination and 3–4-relation pipelines must match it exactly.
+# A failure writes the input to testdata/fuzz/FuzzJoinAgainstOracle/ —
+# commit it as a permanent regression seed.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzJoinAgainstOracle -fuzztime=$(FUZZ_TIME) .
 
 # Coverage with an enforced floor: per-package lines from go test, the
 # total from the merged profile, fail below COVERAGE_FLOOR percent.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +41,8 @@ func main() {
 	basic := flag.Bool("basic-alloc", false, "use the basic (contended) memory allocator")
 	block := flag.Int("block", alloc.DefaultBlockBytes, "allocator block size (bytes)")
 	workers := flag.Int("workers", 0, "host worker goroutines for the morsel runtime (0 = GOMAXPROCS); changes wall-clock only, never results or simulated times")
+	pipelineF := flag.String("pipeline", "", "multi-way join pipeline: comma-separated tuple counts (e.g. 1048576,2097152,524288); the first is the build relation, the rest are probes of it with -sel and -skew; overrides -r/-s")
+	declared := flag.Bool("declared-order", false, "with -pipeline, skip the cost-based join orderer and run sources as declared")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -92,6 +95,11 @@ func main() {
 	eng := apujoin.NewEngine(apujoin.Workers(*workers))
 	defer eng.Close()
 	ctx := context.Background()
+
+	if *pipelineF != "" {
+		runPipeline(ctx, eng, *pipelineF, *declared, dist, *seed, *sel, opt, auto, *workers)
+		return
+	}
 
 	rg := apujoin.Gen{N: *nr, Dist: dist, Seed: *seed}
 	sg := apujoin.Gen{N: *ns, Dist: dist, Seed: *seed + 1}
@@ -170,4 +178,91 @@ func main() {
 	fmt.Printf("allocator: %d allocs, %d global atomics, %d local ops\n",
 		res.AllocStats.Allocs, res.AllocStats.GlobalAtomics, res.AllocStats.LocalOps)
 	hostLine(wall)
+}
+
+// runPipeline drives a multi-way join pipeline: the first size generates
+// the build relation, every later size a probe of it, all registered in
+// the engine's catalog (so the cost-based orderer has ingest statistics)
+// with an inline fallback when the catalog budget is too small.
+func runPipeline(ctx context.Context, eng *apujoin.Engine, sizes string, declared bool,
+	dist apujoin.Distribution, seed int64, sel float64, opt apujoin.Options, auto bool, workers int) {
+	var gens []apujoin.Gen
+	for i, f := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("apujoin: -pipeline element %d (%q) is not a positive tuple count", i+1, f)
+		}
+		gens = append(gens, apujoin.Gen{N: n, Dist: dist, Seed: seed + int64(i)})
+	}
+	if len(gens) < 2 {
+		log.Fatalf("apujoin: -pipeline needs at least 2 comma-separated sizes (got %d)", len(gens))
+	}
+
+	sources := make([]apujoin.Source, len(gens))
+	registered := true
+	for i, g := range gens {
+		name := fmt.Sprintf("rel%d", i)
+		var err error
+		if i == 0 {
+			_, err = eng.Register(name, g)
+		} else {
+			_, err = eng.RegisterProbe(name, "rel0", g, sel)
+		}
+		if err != nil {
+			// Free the partial registrations: the fallback pipeline still
+			// materializes its intermediates through the same catalog
+			// budget, which orphaned registrations would eat into.
+			for j := range gens[:i] {
+				_ = eng.Drop(fmt.Sprintf("rel%d", j))
+			}
+			registered = false
+			break
+		}
+		sources[i] = apujoin.Ref(name)
+	}
+	if !registered {
+		// Over the catalog budget: inline sources (declaration order — the
+		// orderer has no statistics for inline data).
+		r := gens[0].Build()
+		sources[0] = apujoin.Inline(r)
+		for i, g := range gens[1:] {
+			sources[i+1] = apujoin.Inline(g.Probe(r, sel))
+		}
+		fmt.Println("catalog budget exceeded; running with inline sources (declaration order)")
+	}
+
+	opts := []apujoin.JoinOption{apujoin.WithOptions(opt)}
+	if auto {
+		opts = append(opts, apujoin.WithAuto())
+	}
+	start := time.Now()
+	pr, err := eng.JoinPipeline(ctx, apujoin.Pipeline{Sources: sources, DeclaredOrder: declared}, opts...)
+	wall := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	how := "declaration order"
+	if pr.Ordered {
+		how = "cost-based order"
+	}
+	fmt.Printf("pipeline over %d sources (%s): order %v\n", len(sources), how, pr.Order)
+	for i, st := range pr.Steps {
+		line := fmt.Sprintf("step %d: %s ⋈ %s (%d ⋈ %d) → %d tuples, %.3f ms",
+			i+1, st.Build, st.Probe, st.BuildTuples, st.ProbeTuples, st.OutTuples, st.Result.TotalNS/1e6)
+		if st.Plan != nil {
+			line += fmt.Sprintf(" [%s-%s, cache %s]", st.Plan.Algo, st.Plan.Scheme, cacheWord(st.Plan.CacheHit))
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("final: %d matches, %.3f ms simulated across the chain\n", pr.Final.Matches, pr.TotalNS/1e6)
+	fmt.Printf("intermediates: %d tuples, %d bytes through the catalog\n", pr.IntermediateTuples, pr.IntermediateBytes)
+	fmt.Printf("host: %v wall-clock with %d worker(s)\n", wall.Round(time.Microsecond), workers)
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }

@@ -64,6 +64,65 @@ type joinRequest struct {
 	Wait bool `json:"wait"`
 }
 
+// maxPipelineSources bounds how many sources one pipeline may join: each
+// extra source is a full pairwise join plus a materialized intermediate.
+const maxPipelineSources = 16
+
+// pipelineSource is one input of POST /v1/pipeline: a registered relation
+// (name) or an inline build-relation generator spec (n, skew, seed,
+// key_range — keys a permutation of [1, key_range], so sources generated
+// over the same key range join meaningfully).
+type pipelineSource struct {
+	Name string `json:"name"`
+
+	N        int    `json:"n"`
+	Skew     string `json:"skew"`
+	Seed     *int64 `json:"seed"`
+	KeyRange int    `json:"key_range"`
+}
+
+// pipelineRequest is the JSON body of POST /v1/pipeline: a multi-way join
+// over 2..maxPipelineSources sources executed as a chain of pairwise joins.
+// The per-step options mirror /v1/join; algo=auto lets the planner decide
+// each step. Unless declared_order is set, the cost-based orderer picks the
+// cheapest left-deep order from the catalog's ingest statistics (inline
+// sources carry none and force declaration order).
+type pipelineRequest struct {
+	Sources       []pipelineSource `json:"sources"`
+	Algo          string           `json:"algo"`
+	Scheme        string           `json:"scheme"`
+	Arch          string           `json:"arch"`
+	DeclaredOrder bool             `json:"declared_order"`
+	Separate      bool             `json:"separate"`
+	Grouping      bool             `json:"grouping"`
+	Delta         float64          `json:"delta"`
+	CountOnly     bool             `json:"count_only"`
+	Wait          bool             `json:"wait"`
+}
+
+// pipelineStepReport is one executed pairwise step of a pipeline response.
+type pipelineStepReport struct {
+	Build       string      `json:"build"`
+	Probe       string      `json:"probe"`
+	BuildTuples int         `json:"build_tuples"`
+	ProbeTuples int         `json:"probe_tuples"`
+	Matches     int64       `json:"matches"`
+	TotalMS     float64     `json:"total_ms"`
+	Plan        *planReport `json:"plan,omitempty"`
+}
+
+// pipelineReport is the pipeline section of a joinResponse: the executed
+// order and the per-step breakdown. The enclosing response's matches is the
+// final multi-way count and its total_ms sums the serial chain.
+type pipelineReport struct {
+	Sources            int                  `json:"sources"`
+	Ordered            bool                 `json:"ordered"`
+	Order              []int                `json:"order"`
+	Steps              []pipelineStepReport `json:"steps"`
+	IntermediateTuples int64                `json:"intermediate_tuples"`
+	IntermediateBytes  int64                `json:"intermediate_bytes"`
+}
+
 // batchRequest is the JSON body of POST /v1/batch: many joins admitted in
 // one transaction (all-or-nothing; a full queue rejects the whole batch).
 type batchRequest struct {
@@ -102,14 +161,15 @@ type relationRequest struct {
 
 // joinResponse reports a finished (or submitted) query.
 type joinResponse struct {
-	ID      int64        `json:"id"`
-	State   string       `json:"state"`
-	Matches int64        `json:"matches,omitempty"`
-	TotalMS float64      `json:"total_ms,omitempty"`
-	Phases  *phaseReport `json:"phases,omitempty"`
-	Plan    *planReport  `json:"plan,omitempty"`
-	WallMS  float64      `json:"wall_ms,omitempty"`
-	Error   string       `json:"error,omitempty"`
+	ID       int64           `json:"id"`
+	State    string          `json:"state"`
+	Matches  int64           `json:"matches,omitempty"`
+	TotalMS  float64         `json:"total_ms,omitempty"`
+	Phases   *phaseReport    `json:"phases,omitempty"`
+	Plan     *planReport     `json:"plan,omitempty"`
+	Pipeline *pipelineReport `json:"pipeline,omitempty"`
+	WallMS   float64         `json:"wall_ms,omitempty"`
+	Error    string          `json:"error,omitempty"`
 }
 
 // planReport is the planner's decision for an algo=auto query.
@@ -199,6 +259,74 @@ func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
 	return spec, nil
 }
 
+// parsePipeline turns a pipelineRequest into a service.PipelineSpec,
+// resolving names later (admission time) and generating inline sources now.
+func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, error) {
+	var spec service.PipelineSpec
+	var err error
+
+	if len(req.Sources) < 2 {
+		return spec, fmt.Errorf("a pipeline needs at least 2 sources (got %d)", len(req.Sources))
+	}
+	if len(req.Sources) > maxPipelineSources {
+		return spec, fmt.Errorf("pipeline of %d sources exceeds the limit of %d", len(req.Sources), maxPipelineSources)
+	}
+	spec.Auto = strings.EqualFold(req.Algo, "auto")
+	if !spec.Auto {
+		if spec.Opt.Algo, err = core.ParseAlgo(req.Algo); err != nil {
+			return spec, err
+		}
+		if spec.Opt.Scheme, err = core.ParseScheme(req.Scheme); err != nil {
+			return spec, err
+		}
+	} else if req.Scheme != "" {
+		return spec, fmt.Errorf("algo=auto picks the scheme; drop %q", req.Scheme)
+	}
+	if spec.Opt.Arch, err = core.ParseArch(req.Arch); err != nil {
+		return spec, err
+	}
+	spec.Opt.SeparateTables = req.Separate
+	spec.Opt.Grouping = req.Grouping
+	spec.Opt.Delta = req.Delta
+	spec.Opt.CountOnly = req.CountOnly
+	spec.DeclaredOrder = req.DeclaredOrder
+
+	for i, src := range req.Sources {
+		if src.Name != "" {
+			if src.N != 0 || src.Seed != nil || src.Skew != "" || src.KeyRange != 0 {
+				return spec, fmt.Errorf("source %d of %d: generator fields (n, skew, seed, key_range) conflict with name %q",
+					i+1, len(req.Sources), src.Name)
+			}
+			spec.Sources = append(spec.Sources, service.PipelineSource{Name: src.Name})
+			continue
+		}
+		n := src.N
+		if n == 0 {
+			n = 1 << 20
+		}
+		if n < 0 {
+			return spec, fmt.Errorf("source %d of %d: negative relation size n=%d", i+1, len(req.Sources), n)
+		}
+		if n > maxTuples {
+			return spec, fmt.Errorf("source %d of %d: relation size %d exceeds -max-tuples %d", i+1, len(req.Sources), n, maxTuples)
+		}
+		if src.KeyRange < 0 || src.KeyRange > maxTuples {
+			return spec, fmt.Errorf("source %d of %d: key_range %d out of [0, -max-tuples %d]", i+1, len(req.Sources), src.KeyRange, maxTuples)
+		}
+		dist, err := rel.ParseDistribution(src.Skew)
+		if err != nil {
+			return spec, fmt.Errorf("source %d of %d: %w", i+1, len(req.Sources), err)
+		}
+		seed := int64(42) + int64(i)
+		if src.Seed != nil {
+			seed = *src.Seed
+		}
+		g := rel.Gen{N: n, Dist: dist, Seed: seed, KeyRange: src.KeyRange}
+		spec.Sources = append(spec.Sources, service.PipelineSource{Rel: g.Build()})
+	}
+	return spec, nil
+}
+
 func response(q *service.Query) joinResponse {
 	info := q.Snapshot()
 	resp := joinResponse{ID: info.ID, State: info.State, Error: info.Error}
@@ -225,6 +353,42 @@ func response(q *service.Query) joinResponse {
 			TransferMS:  res.TransferNS / 1e6,
 		}
 		resp.WallMS = float64(info.WallNS) / 1e6
+	}
+	if pi := info.Pipeline; pi != nil {
+		// For pipelines, total_ms covers the whole serial chain (the
+		// Result and its phases describe the final step alone).
+		resp.TotalMS = info.SimulatedNS / 1e6
+		pr := &pipelineReport{
+			Sources:            pi.Sources,
+			Ordered:            pi.Ordered,
+			Order:              pi.Order,
+			IntermediateTuples: pi.IntermediateTuples,
+			IntermediateBytes:  pi.IntermediateBytes,
+		}
+		for _, st := range pi.Steps {
+			sr := pipelineStepReport{
+				Build:       st.Build,
+				Probe:       st.Probe,
+				BuildTuples: st.BuildTuples,
+				ProbeTuples: st.ProbeTuples,
+				Matches:     st.Matches,
+				TotalMS:     st.SimulatedNS / 1e6,
+			}
+			if st.Plan != nil {
+				cache := "miss"
+				if st.Plan.CacheHit {
+					cache = "hit"
+				}
+				sr.Plan = &planReport{
+					Algo:        st.Plan.Algo,
+					Scheme:      st.Plan.Scheme,
+					Cache:       cache,
+					PredictedMS: st.Plan.PredictedNS / 1e6,
+				}
+			}
+			pr.Steps = append(pr.Steps, sr)
+		}
+		resp.Pipeline = pr
 	}
 	return resp
 }
@@ -283,6 +447,7 @@ func submitStatus(err error) int {
 // Endpoints:
 //
 //	POST   /v1/join        submit a join; {"wait":true} blocks for the result
+//	POST   /v1/pipeline    submit a multi-way join pipeline (2..16 sources)
 //	POST   /v1/batch       submit many joins in one admission transaction
 //	GET    /v1/query?id=   poll one query
 //	DELETE /v1/query?id=   cancel one query
@@ -324,6 +489,36 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		}
 		q, ok := submit(w, r, req)
 		if !ok {
+			return
+		}
+		if !req.Wait {
+			writeJSON(w, http.StatusAccepted, response(q))
+			return
+		}
+		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
+			writeJSON(w, http.StatusInternalServerError, response(q))
+			return
+		}
+		writeJSON(w, http.StatusOK, response(q))
+	})
+
+	mux.HandleFunc("POST /v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
+		var req pipelineRequest
+		if !readJSON(w, r, cfg.maxBody, &req) {
+			return
+		}
+		spec, err := parsePipeline(req, cfg.maxTuples)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		qctx := context.Background()
+		if req.Wait {
+			qctx = r.Context()
+		}
+		q, err := svc.SubmitPipeline(qctx, spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
 			return
 		}
 		if !req.Wait {
@@ -409,6 +604,14 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("missing ?name="))
 			return
 		}
+		if strings.HasPrefix(name, service.ReservedPrefix) {
+			// A pipeline's intermediates are its own: deleting one from
+			// outside (in the instant before the pipeline unbinds it
+			// itself) would spuriously fail the in-flight pipeline.
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("relation names starting with %q are reserved for pipeline intermediates", service.ReservedPrefix))
+			return
+		}
 		info, err := svc.Catalog().Drop(name)
 		if err != nil {
 			writeError(w, relationStatus(err), err)
@@ -477,6 +680,9 @@ func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) 
 	if req.Name == "" {
 		return catalog.Info{}, errors.New("missing relation name")
 	}
+	if strings.HasPrefix(req.Name, service.ReservedPrefix) {
+		return catalog.Info{}, fmt.Errorf("relation names starting with %q are reserved for pipeline intermediates", service.ReservedPrefix)
+	}
 	seed := int64(42)
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -513,6 +719,11 @@ func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) 
 	}
 	if n > maxTuples {
 		return catalog.Info{}, fmt.Errorf("relation size %d exceeds -max-tuples %d", n, maxTuples)
+	}
+	// The permutation buffer scales with key_range, not n: bound it too,
+	// or a tiny request could force a multi-gigabyte allocation.
+	if req.KeyRange < 0 || req.KeyRange > maxTuples {
+		return catalog.Info{}, fmt.Errorf("key_range %d out of [0, -max-tuples %d]", req.KeyRange, maxTuples)
 	}
 	dist, err := rel.ParseDistribution(req.Skew)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -104,7 +105,33 @@ func TestRoutesTable(t *testing.T) {
 		{"name plus inline", "POST", "/v1/join", `{"r_name":"orders","s_name":"lineitem","r":1024}`, 400},
 		{"unknown relation names", "POST", "/v1/join", `{"r_name":"ghost","s_name":"ghost"}`, 404},
 
+		{"pipeline by names", "POST", "/v1/pipeline",
+			`{"algo":"shj","scheme":"dd","delta":0.25,"sources":[{"name":"orders"},{"name":"lineitem"},{"name":"lineitem"}],"wait":true}`, 200},
+		{"pipeline fire-and-poll", "POST", "/v1/pipeline",
+			`{"algo":"shj","scheme":"dd","delta":0.25,"sources":[{"name":"orders"},{"name":"lineitem"}]}`, 202},
+		{"pipeline one source", "POST", "/v1/pipeline", `{"sources":[{"name":"orders"}]}`, 400},
+		{"pipeline too many sources", "POST", "/v1/pipeline",
+			`{"sources":[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]}`, 400},
+		{"pipeline unknown name", "POST", "/v1/pipeline",
+			`{"sources":[{"name":"orders"},{"name":"ghost"}]}`, 404},
+		{"pipeline name+generator conflict", "POST", "/v1/pipeline",
+			`{"sources":[{"name":"orders","n":64},{"name":"lineitem"}]}`, 400},
+		{"pipeline auto with scheme", "POST", "/v1/pipeline",
+			`{"algo":"auto","scheme":"pl","sources":[{"name":"orders"},{"name":"lineitem"}]}`, 400},
+		{"pipeline negative size", "POST", "/v1/pipeline",
+			`{"sources":[{"n":-5},{"name":"orders"}]}`, 400},
+		{"pipeline exceeds max-tuples", "POST", "/v1/pipeline",
+			`{"sources":[{"n":2097152},{"name":"orders"}]}`, 400},
+		{"pipeline bad skew", "POST", "/v1/pipeline",
+			`{"sources":[{"n":64,"skew":"extreme"},{"name":"orders"}]}`, 400},
+
+		{"pipeline oversized key_range", "POST", "/v1/pipeline",
+			`{"sources":[{"n":64,"key_range":2000000000},{"name":"orders"}]}`, 400},
+
 		{"register duplicate", "POST", "/v1/relations", `{"name":"orders","n":64}`, 409},
+		{"register oversized key_range", "POST", "/v1/relations", `{"name":"x","n":64,"key_range":2000000000}`, 400},
+		{"register reserved prefix", "POST", "/v1/relations", `{"name":"__pipeline/1/step1","n":64}`, 400},
+		{"delete reserved prefix", "DELETE", "/v1/relations?name=__pipeline/1/step1", "", 400},
 		{"register nameless", "POST", "/v1/relations", `{"n":64}`, 400},
 		{"register bad skew", "POST", "/v1/relations", `{"name":"x","n":64,"skew":"extreme"}`, 400},
 		{"probe of unknown", "POST", "/v1/relations", `{"name":"x","probe_of":"ghost","n":64}`, 404},
@@ -238,6 +265,78 @@ func TestBatchSubmit(t *testing.T) {
 		fmt.Sprintf(`{"queries":[{"algo":"shj","scheme":"dd","r_name":"r","s_name":"s","wait":true},%s]}`, q))
 	if st != 400 || !strings.Contains(resp["error"].(string), "batch-level wait") {
 		t.Errorf("per-query wait in batch: status %d, resp %v", st, resp)
+	}
+}
+
+// TestPipelineEndpoint drives POST /v1/pipeline end to end: an auto
+// pipeline over registered relations reports the executed order, per-step
+// plan decisions and the serial-chain total; inline generated sources over
+// a shared key range run in declaration order.
+func TestPipelineEndpoint(t *testing.T) {
+	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
+		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"orders","n":20000,"seed":1}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"lineitem","probe_of":"orders","n":26000,"sel":0.9,"seed":2}`)
+	do(t, "POST", ts.URL+"/v1/relations", `{"name":"returns","probe_of":"orders","n":12000,"sel":0.3,"seed":3}`)
+
+	st, resp := do(t, "POST", ts.URL+"/v1/pipeline",
+		`{"algo":"auto","delta":0.1,"sources":[{"name":"orders"},{"name":"lineitem"},{"name":"returns"}],"wait":true}`)
+	if st != 200 || resp["state"] != "done" {
+		t.Fatalf("auto pipeline: status %d, resp %v", st, resp)
+	}
+	pipe, ok := resp["pipeline"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no pipeline section: %v", resp)
+	}
+	if pipe["ordered"] != true || pipe["sources"].(float64) != 3 {
+		t.Errorf("pipeline section: ordered=%v sources=%v", pipe["ordered"], pipe["sources"])
+	}
+	steps, _ := pipe["steps"].([]any)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v, want 2", steps)
+	}
+	var stepSum float64
+	for i, s := range steps {
+		step := s.(map[string]any)
+		if _, ok := step["plan"].(map[string]any); !ok {
+			t.Errorf("step %d: no plan report on an auto pipeline: %v", i, step)
+		}
+		stepSum += step["total_ms"].(float64)
+	}
+	// The server sums raw nanoseconds before converting; summing the
+	// converted per-step values can differ by an ulp.
+	if got := resp["total_ms"].(float64); math.Abs(got-stepSum) > 1e-9*stepSum {
+		t.Errorf("total_ms %v != step sum %v", got, stepSum)
+	}
+	if pipe["intermediate_tuples"].(float64) <= 0 {
+		t.Errorf("intermediate_tuples = %v, want > 0", pipe["intermediate_tuples"])
+	}
+	if resp["matches"].(float64) <= 0 {
+		t.Errorf("matches = %v, want > 0", resp["matches"])
+	}
+
+	// Inline generated sources over one key range: no catalog statistics,
+	// so declaration order — and the equal specs join every tuple.
+	st, resp = do(t, "POST", ts.URL+"/v1/pipeline",
+		`{"algo":"shj","scheme":"dd","delta":0.25,"sources":[{"n":4000,"key_range":4000,"seed":7},{"n":4000,"key_range":4000,"seed":8},{"n":4000,"key_range":4000,"seed":9}],"wait":true}`)
+	if st != 200 || resp["state"] != "done" {
+		t.Fatalf("inline pipeline: status %d, resp %v", st, resp)
+	}
+	pipe = resp["pipeline"].(map[string]any)
+	if pipe["ordered"] != false {
+		t.Errorf("inline pipeline claims cost-based ordering: %v", pipe)
+	}
+	// Three permutations of the same 4000-key domain: 4000 multi-way
+	// matches exactly.
+	if got := resp["matches"].(float64); got != 4000 {
+		t.Errorf("inline pipeline matches = %v, want 4000", got)
+	}
+	// The stats surface picked up the pipeline counters.
+	if st, stats := do(t, "GET", ts.URL+"/v1/stats", ""); st != 200 {
+		t.Fatalf("stats: %d", st)
+	} else if stats["pipelines"].(float64) < 2 {
+		t.Errorf("stats pipelines = %v, want >= 2", stats["pipelines"])
 	}
 }
 

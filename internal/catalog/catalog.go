@@ -92,6 +92,11 @@ func (e *Entry) Relation() rel.Relation { return e.rel }
 // 2 ≈ s=25), identical to what plan.MeasureWorkload would classify.
 func (e *Entry) SkewBucket() int { return e.skewBucket }
 
+// HeavyShare returns the heaviest key's share of the ingest-time sample —
+// the raw number behind SkewBucket, which the pipeline orderer uses to
+// estimate heavy-key collision blowup between two skewed relations.
+func (e *Entry) HeavyShare() float64 { return e.heavyShare }
+
 // Release drops one pin taken by Catalog.Acquire. When the entry was
 // dropped and this was the last pin, the resident zero-copy bytes are
 // released. Release is safe to call from query-completion paths running
@@ -310,6 +315,16 @@ func heavyShare(sample []int32) float64 {
 		}
 	}
 	return float64(maxCount) / float64(len(sample))
+}
+
+// Fits reports whether bytes of additional resident data would fit the
+// remaining budget right now. A cheap pre-check for callers about to
+// construct a large relation (pipeline intermediates): registration still
+// re-checks authoritatively under the same lock as the allocation.
+func (c *Catalog) Fits(bytes int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zc.Fits(bytes)
 }
 
 // Acquire resolves a name to its entry and takes one pin; the caller must

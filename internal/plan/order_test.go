@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// statsTable backs a PairStats from a dense selectivity-bucket matrix
+// (bucket −1 marks an unknown pair).
+func statsTable(selBucket [][]int, skewBucket [][]int) PairStats {
+	return func(i, j int) (Workload, bool) {
+		if selBucket[i][j] < 0 {
+			return Workload{}, false
+		}
+		w := Workload{SelBucket: selBucket[i][j]}
+		if skewBucket != nil {
+			w.SkewBucket = skewBucket[i][j]
+		}
+		return w, true
+	}
+}
+
+func TestOrderPipelineGreedy(t *testing.T) {
+	// Three relations: a selective pair exists between 0 and 2, so the
+	// greedy order starts there and leaves the wide join for last.
+	rels := []PipeRel{{Tuples: 1000}, {Tuples: 1000}, {Tuples: 1000}}
+	sel := [][]int{
+		{0, 8, 1}, // build 0: probe 1 sel 1.0, probe 2 sel 0.125
+		{8, 0, 8},
+		{1, 8, 0}, // build 2: probe 0 sel 0.125
+	}
+	order, ordered := OrderPipeline(rels, statsTable(sel, nil))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	// Both (0,2) and (2,0) estimate 125 output tuples; equal cost breaks
+	// the tie toward declaration order, so build 0 probes 2 first.
+	if want := []int{0, 2, 1}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestOrderPipelineSizeTieBreak(t *testing.T) {
+	// Uniform selectivity 1.0 everywhere: output estimates equal the probe
+	// size, so the smallest relation is probed first; the build side of
+	// that first step is then the cheaper of the remaining two.
+	rels := []PipeRel{{Tuples: 4000}, {Tuples: 100}, {Tuples: 900}}
+	sel := [][]int{{0, 8, 8}, {8, 0, 8}, {8, 8, 0}}
+	order, ordered := OrderPipeline(rels, statsTable(sel, nil))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	if want := []int{2, 1, 0}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestOrderPipelineSkewPenalty(t *testing.T) {
+	// The selective pair runs first in its cheaper direction (probing the
+	// 100-tuple side). Two equal-size, equal-selectivity candidates remain
+	// for the next probe; relation 2's pair stats report high skew, so 3
+	// goes first.
+	rels := []PipeRel{{Tuples: 100}, {Tuples: 200}, {Tuples: 500}, {Tuples: 500}}
+	sel := [][]int{
+		{0, 4, 8, 8},
+		{4, 0, 8, 8},
+		{8, 8, 0, 8},
+		{8, 8, 8, 0},
+	}
+	skew := [][]int{
+		{0, 0, 2, 0},
+		{0, 0, 2, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+	}
+	order, ordered := OrderPipeline(rels, statsTable(sel, skew))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	if want := []int{1, 0, 3, 2}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+// TestOrderPipelineHeavyCollision: the most selective pair on paper joins
+// two heavy-key relations — a quadratic blowup (share_B·|B| × share_C·|C|
+// output tuples) the selectivity bucket cannot see. With heavy shares the
+// orderer defers that pair; without them (the control) it would lead with
+// it.
+func TestOrderPipelineHeavyCollision(t *testing.T) {
+	rels := []PipeRel{
+		{Tuples: 10000},                  // A: uniform build
+		{Tuples: 2000, HeavyShare: 0.25}, // B: hc = 500
+		{Tuples: 800, HeavyShare: 0.25},  // C: hc = 200
+	}
+	sel := [][]int{
+		{0, 8, 8},
+		{8, 0, 1}, // B ⋈ C looks maximally selective...
+		{8, 1, 0}, // ...in both directions
+	}
+	order, ordered := OrderPipeline(rels, statsTable(sel, nil))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	// A ⋈ C (est 800 + 1·200) beats B ⋈ C (est 100 + 500·200 = 100100).
+	if want := []int{0, 2, 1}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v (heavy collision not priced)", order, want)
+	}
+
+	// Control: identical sizes and selectivities, no heavy shares — the
+	// sel-bucket estimate alone picks the explosive pair first.
+	uniform := []PipeRel{{Tuples: 10000}, {Tuples: 2000}, {Tuples: 800}}
+	order, _ = OrderPipeline(uniform, statsTable(sel, nil))
+	if order[0] != 1 || order[1] != 2 {
+		t.Errorf("control order = %v, want the B ⋈ C prefix", order)
+	}
+}
+
+func TestOrderPipelineFallsBackWithoutStats(t *testing.T) {
+	rels := []PipeRel{{Tuples: 10}, {Tuples: 20}, {Tuples: 30}}
+	sel := [][]int{
+		{0, 8, -1}, // pair (0,2) unknown
+		{8, 0, 8},
+		{8, 8, 0},
+	}
+	order, ordered := OrderPipeline(rels, statsTable(sel, nil))
+	if ordered {
+		t.Error("ordered = true with a missing pair")
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(order, want) {
+		t.Errorf("fallback order = %v, want declaration %v", order, want)
+	}
+	// No stats function at all behaves the same.
+	order, ordered = OrderPipeline(rels, nil)
+	if ordered || !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Errorf("nil stats: order %v ordered %v, want declaration and false", order, ordered)
+	}
+}
+
+// TestOrderPipelinePairSwap: with two relations the orderer may still swap
+// build and probe when the reversed direction estimates cheaper.
+func TestOrderPipelinePairSwap(t *testing.T) {
+	rels := []PipeRel{{Tuples: 100}, {Tuples: 5000}}
+	sel := [][]int{{0, 8}, {8, 0}}
+	order, ordered := OrderPipeline(rels, statsTable(sel, nil))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	// Probing the 100-tuple side estimates 100 output tuples vs 5000.
+	if want := []int{1, 0}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,340 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/core"
+	"apujoin/internal/plan"
+	"apujoin/internal/rel"
+)
+
+// ErrPipelineTooShort reports a pipeline with fewer than two sources.
+var ErrPipelineTooShort = errors.New("service: a pipeline needs at least 2 sources")
+
+// ReservedPrefix prefixes the catalog names pipeline intermediates are
+// registered (and immediately unbound) under. Untrusted front-ends reject
+// external registration or deletion of such names: squatting one would
+// spuriously fail an in-flight pipeline.
+const ReservedPrefix = "__pipeline/"
+
+// PipelineSource is one input of a multi-way pipeline: a catalog reference
+// (Name) or an inline relation (Rel, used when Name is empty).
+type PipelineSource struct {
+	Name string
+	Rel  rel.Relation
+}
+
+// PipelineSpec describes a join over N ≥ 2 sources, executed as a chain of
+// pairwise joins: the first two sources of the chosen order join first and
+// every later source probes the materialized intermediate. Opt configures
+// each pairwise step exactly as in Submit; Auto hands every step's
+// algorithm, scheme and ratios to the planner (per-step plan-cache
+// consultation, catalog statistics reused where both inputs are resident).
+type PipelineSpec struct {
+	Sources []PipelineSource
+	Opt     core.Options
+	Auto    bool
+	// DeclaredOrder skips the cost-based join orderer and runs the sources
+	// exactly as declared. The final match count is identical either way;
+	// only intermediate sizes and costs change.
+	DeclaredOrder bool
+}
+
+// PipelineStep reports one executed pairwise step of a pipeline.
+type PipelineStep struct {
+	// Build and Probe label the step's inputs: a catalog name, "inline[i]"
+	// for the i-th declared inline source, or "step<t>" for the
+	// intermediate of step t.
+	Build, Probe string
+	// BuildTuples and Probe Tuples are the input cardinalities; OutTuples
+	// is the step's match count — and, for every step but the last, the
+	// cardinality of the intermediate materialized through the catalog.
+	BuildTuples, ProbeTuples int
+	OutTuples                int64
+	// Result is the full pairwise join result (the same Result a
+	// stand-alone Join of the step's inputs returns, bit for bit).
+	Result *core.Result
+	// Plan is the planner's per-step decision when the pipeline runs auto.
+	Plan *PlanInfo
+}
+
+// PipelineResult reports one executed pipeline.
+type PipelineResult struct {
+	// Order is the executed left-deep order as indices into the spec's
+	// Sources; Ordered reports whether the cost-based orderer chose it
+	// (false: declaration order, by request or for lack of statistics).
+	Order   []int
+	Ordered bool
+	Steps   []PipelineStep
+	// Final is the last step's Result; Final.Matches is the pipeline's
+	// multi-way match count.
+	Final *core.Result
+	// TotalNS sums the simulated time of every step (the steps form a
+	// serial chain: each consumes the previous step's output).
+	TotalNS float64
+	// IntermediateTuples and IntermediateBytes total the intermediates
+	// materialized through the catalog; the bytes stay charged against the
+	// catalog's residency budget until the pipeline finishes.
+	IntermediateTuples int64
+	IntermediateBytes  int64
+}
+
+// PipelineInfo is the JSON-friendly snapshot of a pipeline query for
+// status surfaces, with per-step plan decisions.
+type PipelineInfo struct {
+	Sources            int                `json:"sources"`
+	Ordered            bool               `json:"ordered"`
+	Order              []int              `json:"order"`
+	Steps              []PipelineStepInfo `json:"steps"`
+	IntermediateTuples int64              `json:"intermediate_tuples"`
+	IntermediateBytes  int64              `json:"intermediate_bytes"`
+}
+
+// PipelineStepInfo is the snapshot of one pipeline step.
+type PipelineStepInfo struct {
+	Build       string    `json:"build"`
+	Probe       string    `json:"probe"`
+	BuildTuples int       `json:"build_tuples"`
+	ProbeTuples int       `json:"probe_tuples"`
+	Matches     int64     `json:"matches"`
+	SimulatedNS float64   `json:"simulated_ns"`
+	Plan        *PlanInfo `json:"plan,omitempty"`
+}
+
+// pipelineInfo snapshots a PipelineResult.
+func pipelineInfo(p *PipelineResult) *PipelineInfo {
+	info := &PipelineInfo{
+		Sources:            len(p.Order),
+		Ordered:            p.Ordered,
+		Order:              append([]int(nil), p.Order...),
+		IntermediateTuples: p.IntermediateTuples,
+		IntermediateBytes:  p.IntermediateBytes,
+	}
+	for _, st := range p.Steps {
+		si := PipelineStepInfo{
+			Build:       st.Build,
+			Probe:       st.Probe,
+			BuildTuples: st.BuildTuples,
+			ProbeTuples: st.ProbeTuples,
+			Matches:     st.OutTuples,
+			SimulatedNS: st.Result.TotalNS,
+		}
+		if st.Plan != nil {
+			pl := *st.Plan
+			si.Plan = &pl
+		}
+		info.Steps = append(info.Steps, si)
+	}
+	return info
+}
+
+// pipeInput is one resolved pipeline input: the concrete relation, its
+// display name, and — for catalog-resident inputs (named sources and
+// materialized intermediates) — the pinned entry carrying ingest-time
+// statistics.
+type pipeInput struct {
+	name  string
+	rel   rel.Relation
+	entry *catalog.Entry
+}
+
+// pipeJob is a resolved pipeline awaiting execution.
+type pipeJob struct {
+	sources  []pipeInput
+	declared bool
+}
+
+// resolvePipeline pins the named sources of a spec. The returned
+// resolvedSpec carries the pins (released by the query's terminal state,
+// or by the caller on the synchronous path) and the pipeline job.
+func (s *Service) resolvePipeline(spec PipelineSpec) (resolvedSpec, error) {
+	rs := resolvedSpec{opt: spec.Opt, auto: spec.Auto}
+	if len(spec.Sources) < 2 {
+		return rs, fmt.Errorf("%w (got %d)", ErrPipelineTooShort, len(spec.Sources))
+	}
+	pj := &pipeJob{declared: spec.DeclaredOrder}
+	for i, src := range spec.Sources {
+		in := pipeInput{name: src.Name, rel: src.Rel}
+		if src.Name != "" {
+			e, err := s.catalog.Acquire(src.Name)
+			if err != nil {
+				rs.release()
+				return rs, fmt.Errorf("pipeline source %d: %w", i+1, err)
+			}
+			rs.pins = append(rs.pins, e)
+			in.rel, in.entry = e.Relation(), e
+		} else {
+			in.name = fmt.Sprintf("inline[%d]", i)
+		}
+		pj.sources = append(pj.sources, in)
+	}
+	rs.pipe = pj
+	return rs, nil
+}
+
+// SubmitPipeline enqueues one multi-way pipeline as a single query: every
+// named source is pinned up front and admission is all-or-nothing (a full
+// queue rejects the pipeline whole, with every pin released), exactly as
+// SubmitBatch treats its queries. The query's Result is the final step's
+// Result; the per-step breakdown — including the planner's per-step
+// decisions when Auto — is available through Query.Pipeline and in the
+// query's Info snapshot.
+func (s *Service) SubmitPipeline(ctx context.Context, spec PipelineSpec) (*Query, error) {
+	rs, err := s.resolvePipeline(spec)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := s.submitResolved(ctx, []resolvedSpec{rs}, false)
+	if err != nil {
+		return nil, err
+	}
+	return qs[0], nil
+}
+
+// RunPipeline executes a pipeline synchronously, outside the admission
+// layer — the engine facade's path; the caller bounds its own concurrency
+// and provides the worker pool through spec.Opt.
+func (s *Service) RunPipeline(ctx context.Context, spec PipelineSpec) (*PipelineResult, error) {
+	rs, err := s.resolvePipeline(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.release()
+	return s.execPipeline(ctx, rs.pipe, rs.opt, rs.auto)
+}
+
+// execPipeline runs a resolved pipeline: order the sources, then chain
+// pairwise joins, materializing each non-final step's output through the
+// catalog. Intermediates are pinned and charged against the catalog's
+// residency budget for the rest of the pipeline (their names unbind
+// immediately — a pipeline never pollutes the namespace) and released when
+// the pipeline finishes, successfully or not.
+func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Options, auto bool) (*PipelineResult, error) {
+	n := len(pj.sources)
+
+	// Cost-based ordering from the catalog's ingest-time statistics; any
+	// inline source means no statistics and declaration order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ordered := false
+	if !pj.declared {
+		rels := make([]plan.PipeRel, n)
+		for i, src := range pj.sources {
+			rels[i] = plan.PipeRel{Tuples: src.rel.Len()}
+			if src.entry != nil {
+				rels[i].HeavyShare = src.entry.HeavyShare()
+			}
+		}
+		order, ordered = plan.OrderPipeline(rels, func(i, j int) (plan.Workload, bool) {
+			bi, pi := pj.sources[i].entry, pj.sources[j].entry
+			if bi == nil || pi == nil {
+				return plan.Workload{}, false
+			}
+			return s.catalog.Workload(bi, pi), true
+		})
+	}
+
+	res := &PipelineResult{Order: order, Ordered: ordered}
+	id := s.pipeSeq.Add(1)
+
+	// Intermediate pins are released when the pipeline finishes — their
+	// zero-copy bytes stay charged for the pipeline's whole lifetime.
+	var inters []*catalog.Entry
+	defer func() {
+		for _, e := range inters {
+			e.Release()
+		}
+	}()
+
+	cur := pj.sources[order[0]]
+	for t := 1; t < n; t++ {
+		probe := pj.sources[order[t]]
+		stepOpt := opt
+		var pinfo *PlanInfo
+		if auto {
+			var pl *core.Plan
+			var hit bool
+			var perr error
+			if cur.entry != nil && probe.entry != nil {
+				w := s.catalog.Workload(cur.entry, probe.entry)
+				pl, _, hit, perr = s.planner.PlanWorkload(ctx, cur.rel, probe.rel, stepOpt, w)
+			} else {
+				pl, _, hit, perr = s.planner.Plan(ctx, cur.rel, probe.rel, stepOpt)
+			}
+			if perr != nil {
+				return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): plan: %w", t, cur.name, probe.name, perr)
+			}
+			stepOpt.Plan = pl
+			pinfo = &PlanInfo{
+				Algo:        pl.Algo.String(),
+				Scheme:      pl.Scheme.String(),
+				CacheHit:    hit,
+				PredictedNS: pl.PredictedNS,
+			}
+		}
+
+		stepRes, err := core.RunCtx(ctx, cur.rel, probe.rel, stepOpt)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): %w", t, cur.name, probe.name, err)
+		}
+		res.Steps = append(res.Steps, PipelineStep{
+			Build:       cur.name,
+			Probe:       probe.name,
+			BuildTuples: cur.rel.Len(),
+			ProbeTuples: probe.rel.Len(),
+			OutTuples:   stepRes.Matches,
+			Result:      stepRes,
+			Plan:        pinfo,
+		})
+		res.TotalNS += stepRes.TotalNS
+		if t == n-1 {
+			res.Final = stepRes
+			break
+		}
+
+		// Materialize the intermediate through the catalog: registered
+		// (measured at ingest like any relation, charged against the
+		// residency budget), pinned, and immediately unbound so the
+		// reserved name never collides or lingers in listings.
+		if stepRes.Matches > math.MaxInt32 {
+			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples exceeds the representable relation size",
+				t, cur.name, probe.name, stepRes.Matches)
+		}
+		// The step's exact match count is known before anything is
+		// allocated: reject an intermediate the residency budget cannot
+		// hold *before* materializing it — a skew-exploded join (two
+		// heavy-key relations joined against each other) would otherwise
+		// try a multi-gigabyte host allocation just to have Load refuse it.
+		if !s.catalog.Fits(stepRes.Matches * 8) {
+			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+				t, cur.name, probe.name, stepRes.Matches, catalog.ErrNoSpace)
+		}
+		inter := rel.JoinMaterialize(cur.rel, probe.rel)
+		if int64(inter.Len()) != stepRes.Matches {
+			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): materialized %d tuples but the join counted %d — engine bug",
+				t, cur.name, probe.name, inter.Len(), stepRes.Matches)
+		}
+		name := fmt.Sprintf("%s%d/step%d", ReservedPrefix, id, t)
+		if _, err := s.catalog.Load(name, inter); err != nil {
+			return nil, fmt.Errorf("pipeline step %d: intermediate: %w", t, err)
+		}
+		entry, err := s.catalog.Acquire(name)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline step %d: intermediate: %w", t, err)
+		}
+		inters = append(inters, entry)
+		if _, err := s.catalog.Drop(name); err != nil {
+			return nil, fmt.Errorf("pipeline step %d: intermediate: %w", t, err)
+		}
+		res.IntermediateTuples += int64(inter.Len())
+		res.IntermediateBytes += inter.Bytes()
+		cur = pipeInput{name: fmt.Sprintf("step%d", t), rel: inter, entry: entry}
+	}
+	return res, nil
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apujoin/internal/catalog"
@@ -130,8 +131,21 @@ type Query struct {
 	pins     []*catalog.Entry
 	workload *plan.Workload
 
+	// pipe is the per-step report of a SubmitPipeline query, filled when
+	// the pipeline finishes (res then holds the final step's Result).
+	pipe *PipelineResult
+
 	cancel context.CancelFunc
 	done   chan struct{}
+}
+
+// Pipeline returns the finished pipeline query's per-step report; ok is
+// false for plain joins and while a pipeline has not reached a terminal
+// state.
+func (q *Query) Pipeline() (*PipelineResult, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pipe, q.pipe != nil
 }
 
 // State returns the query's current lifecycle state.
@@ -177,6 +191,11 @@ type Info struct {
 	Error       string  `json:"error,omitempty"`
 	// Plan reports the planner's decision for auto-planned queries.
 	Plan *PlanInfo `json:"plan,omitempty"`
+	// Pipeline reports a multi-way pipeline query: the executed order and
+	// the per-step results and plan decisions. For pipelines, Matches is
+	// the final step's match count while SimulatedNS sums every step of
+	// the serial chain.
+	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
 }
 
 // PlanInfo is the plan report of one auto-planned query: what the planner
@@ -207,6 +226,10 @@ func (q *Query) Snapshot() Info {
 	if q.res != nil {
 		info.Matches = q.res.Matches
 		info.SimulatedNS = q.res.TotalNS
+	}
+	if q.pipe != nil {
+		info.SimulatedNS = q.pipe.TotalNS
+		info.Pipeline = pipelineInfo(q.pipe)
 	}
 	if q.plan != nil {
 		info.Plan = &PlanInfo{
@@ -255,6 +278,16 @@ type Stats struct {
 	// Batches counts multi-query SubmitBatch admissions (each amortizes
 	// one admission transaction over its queries).
 	Batches int64 `json:"batches"`
+
+	// Pipelines counts completed multi-way pipeline queries and
+	// PipelineSteps their executed pairwise steps; IntermediateTuples and
+	// IntermediateBytes total the intermediates those pipelines
+	// materialized through the catalog (charged against the residency
+	// budget for each pipeline's lifetime, freed when it finishes).
+	Pipelines          int64 `json:"pipelines"`
+	PipelineSteps      int64 `json:"pipeline_steps"`
+	IntermediateTuples int64 `json:"intermediate_tuples"`
+	IntermediateBytes  int64 `json:"intermediate_bytes"`
 
 	// Queued and Active are gauges: queries waiting for admission and
 	// queries currently executing.
@@ -309,6 +342,9 @@ type Service struct {
 	// interleaves waiting queries fairly.
 	sem     chan struct{}
 	closing chan struct{}
+
+	// pipeSeq numbers pipelines for their reserved intermediate names.
+	pipeSeq atomic.Int64
 
 	mu      sync.Mutex
 	closed  bool
@@ -404,13 +440,16 @@ type JoinSpec struct {
 	Auto bool
 }
 
-// resolvedSpec is a JoinSpec after catalog resolution.
+// resolvedSpec is one admitted unit of work after catalog resolution: a
+// plain pairwise join, or — when pipe is set — a multi-way pipeline.
 type resolvedSpec struct {
 	r, s     rel.Relation
 	opt      core.Options
 	auto     bool
 	pins     []*catalog.Entry
 	workload *plan.Workload
+	// pipe marks a pipeline job (SubmitPipeline); r/s/workload are unused.
+	pipe *pipeJob
 }
 
 func (rs *resolvedSpec) release() {
@@ -484,6 +523,15 @@ func (s *Service) SubmitBatch(ctx context.Context, specs []JoinSpec) ([]*Query, 
 		}
 		res[i] = rs
 	}
+	return s.submitResolved(ctx, res, len(specs) > 1)
+}
+
+// submitResolved is the admission transaction shared by SubmitBatch and
+// SubmitPipeline: claim free execution slots, bound the waiters by the
+// queue, reject all-or-nothing, and spawn one runner per query. The
+// resolved specs' pins are owned by the queries from here on (released at
+// each terminal state) — or released here when the whole set is rejected.
+func (s *Service) submitResolved(ctx context.Context, res []resolvedSpec, batch bool) ([]*Query, error) {
 	releaseAll := func() {
 		for i := range res {
 			res[i].release()
@@ -498,9 +546,9 @@ func (s *Service) SubmitBatch(ctx context.Context, specs []JoinSpec) ([]*Query, 
 	}
 	// Immediate admission when slots are free; only genuinely waiting
 	// queries count against (and are bounded by) the queue.
-	admitted := make([]bool, len(specs))
+	admitted := make([]bool, len(res))
 	waiting := 0
-	for i := range specs {
+	for i := range res {
 		select {
 		case s.sem <- struct{}{}:
 			admitted[i] = true
@@ -514,15 +562,15 @@ func (s *Service) SubmitBatch(ctx context.Context, specs []JoinSpec) ([]*Query, 
 				<-s.sem
 			}
 		}
-		s.stats.Rejected += int64(len(specs))
+		s.stats.Rejected += int64(len(res))
 		s.mu.Unlock()
 		releaseAll()
 		return nil, ErrQueueFull
 	}
 	now := time.Now()
-	qs := make([]*Query, len(specs))
-	ctxs := make([]context.Context, len(specs))
-	for i := range specs {
+	qs := make([]*Query, len(res))
+	ctxs := make([]context.Context, len(res))
+	for i := range res {
 		s.nextID++
 		qctx, cancel := context.WithCancel(ctx)
 		q := &Query{
@@ -547,22 +595,23 @@ func (s *Service) SubmitBatch(ctx context.Context, specs []JoinSpec) ([]*Query, 
 		qs[i], ctxs[i] = q, qctx
 	}
 	s.evictLocked()
-	if len(specs) > 1 {
+	if batch {
 		s.stats.Batches++
 	}
-	s.wg.Add(len(specs))
+	s.wg.Add(len(res))
 	s.mu.Unlock()
 
 	for i, q := range qs {
-		opt := res[i].opt
-		opt.Pool = s.pool
-		go s.run(ctxs[i], q, res[i].r, res[i].s, opt, admitted[i])
+		rs := res[i]
+		rs.opt.Pool = s.pool
+		go s.run(ctxs[i], q, rs, admitted[i])
 	}
 	return qs, nil
 }
 
 // run carries one query from admission through completion.
-func (s *Service) run(ctx context.Context, q *Query, r, sr rel.Relation, opt core.Options, admitted bool) {
+func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted bool) {
+	r, sr, opt := rs.r, rs.s, rs.opt
 	defer s.wg.Done()
 	defer q.cancel()
 
@@ -612,6 +661,25 @@ func (s *Service) run(ctx context.Context, q *Query, r, sr rel.Relation, opt cor
 	q.mu.Lock()
 	started := q.started
 	q.mu.Unlock()
+
+	// A pipeline query runs its whole chain inside the one admission slot;
+	// the final step's Result is the query's Result and the per-step
+	// report lands on the query before it turns terminal.
+	if rs.pipe != nil {
+		pres, err := s.execPipeline(ctx, rs.pipe, opt, rs.auto)
+		switch {
+		case err == nil:
+			q.mu.Lock()
+			q.pipe = pres
+			q.mu.Unlock()
+			s.finish(q, pres.Final, nil, Done, started)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.finish(q, nil, err, Canceled, started)
+		default:
+			s.finish(q, nil, err, Failed, started)
+		}
+		return
+	}
 
 	if q.auto {
 		// Planning happens inside the admission slot: a cache hit is
@@ -683,15 +751,41 @@ func (s *Service) finish(q *Query, res *core.Result, err error, st State, starte
 	case Done:
 		s.stats.Completed++
 		s.stats.Matches += res.Matches
+		q.mu.Lock()
+		pl, pipe := q.plan, q.pipe
+		q.mu.Unlock()
+		if pipe != nil {
+			// A pipeline folds every step of its serial chain into the
+			// simulated totals; Matches stays the final multi-way count.
+			s.stats.Pipelines++
+			s.stats.PipelineSteps += int64(len(pipe.Steps))
+			s.stats.IntermediateTuples += pipe.IntermediateTuples
+			s.stats.IntermediateBytes += pipe.IntermediateBytes
+			s.stats.SimulatedNS += pipe.TotalNS
+			for _, step := range pipe.Steps {
+				sr := step.Result
+				s.stats.Phases.Partition += sr.PartitionNS
+				s.stats.Phases.Build += sr.BuildNS
+				s.stats.Phases.Probe += sr.ProbeNS
+				s.stats.Phases.Merge += sr.MergeNS
+				s.stats.Phases.Transfer += sr.TransferNS
+				if step.Plan != nil {
+					s.stats.PlanPredictedNS += step.Plan.PredictedNS
+					s.stats.PlanSimulatedNS += sr.TotalNS
+					s.stats.PlanAbsErrNS += math.Abs(step.Plan.PredictedNS - sr.TotalNS)
+				}
+			}
+			if q.auto {
+				s.stats.AutoPlanned++
+			}
+			break
+		}
 		s.stats.SimulatedNS += res.TotalNS
 		s.stats.Phases.Partition += res.PartitionNS
 		s.stats.Phases.Build += res.BuildNS
 		s.stats.Phases.Probe += res.ProbeNS
 		s.stats.Phases.Merge += res.MergeNS
 		s.stats.Phases.Transfer += res.TransferNS
-		q.mu.Lock()
-		pl := q.plan
-		q.mu.Unlock()
 		if pl != nil {
 			s.stats.AutoPlanned++
 			s.stats.PlanPredictedNS += pl.PredictedNS

@@ -1,0 +1,64 @@
+package apujoin
+
+import (
+	"context"
+
+	"apujoin/internal/service"
+)
+
+// Pipeline describes a multi-way join over N ≥ 2 sources on the shared key
+// attribute, executed as a chain of the engine's pairwise joins: the first
+// two sources of the chosen order join first, and every later source
+// probes the materialized intermediate (a left-deep plan). Intermediates
+// are materialized through the engine's catalog — measured at ingest like
+// any registered relation and charged against the residency budget until
+// the pipeline finishes.
+//
+// Unless DeclaredOrder is set, a greedy cost-based orderer picks the
+// cheapest left-deep order from the catalog's ingest-time skew and
+// selectivity statistics; a pipeline with any Inline source has no
+// statistics for the orderer and runs in declaration order. Ordering never
+// changes the final match count.
+//
+//	pr, err := eng.JoinPipeline(ctx, apujoin.Pipeline{Sources: []apujoin.Source{
+//		apujoin.Ref("orders"), apujoin.Ref("lineitem"), apujoin.Ref("returns"),
+//	}}, apujoin.WithAuto())
+//	fmt.Println(pr.Final.Matches, pr.Order)
+type Pipeline struct {
+	// Sources are the pipeline's inputs (Ref or Inline), N ≥ 2.
+	Sources []Source
+	// DeclaredOrder skips the cost-based orderer and joins the sources
+	// exactly as declared.
+	DeclaredOrder bool
+}
+
+// PipelineResult reports one executed pipeline: the chosen order, every
+// pairwise step's full Result (and plan decision under WithAuto), the
+// final Result whose Matches is the multi-way count, and the intermediate
+// footprint. The result is bit-identical for any worker count and to
+// executing the steps one at a time by hand in the same order.
+type PipelineResult = service.PipelineResult
+
+// PipelineStep is one executed pairwise step of a PipelineResult.
+type PipelineStep = service.PipelineStep
+
+// JoinPipeline executes a multi-way join pipeline on the engine. Options
+// configure every pairwise step exactly as in Join; WithAuto plans each
+// step through the engine's shared plan cache (catalog-resident inputs —
+// named sources and materialized intermediates — plan from ingest-time
+// statistics). JoinPipeline is synchronous and runs outside the service
+// admission layer, like Join; apujoind's POST /v1/pipeline layers bounded
+// admission on the same primitives.
+func (e *Engine) JoinPipeline(ctx context.Context, p Pipeline, opts ...JoinOption) (*PipelineResult, error) {
+	cfg := applyJoinOptions(opts)
+	spec := service.PipelineSpec{
+		Opt:           cfg.opt,
+		Auto:          cfg.auto,
+		DeclaredOrder: p.DeclaredOrder,
+	}
+	for _, src := range p.Sources {
+		spec.Sources = append(spec.Sources, service.PipelineSource{Name: src.name, Rel: src.rel})
+	}
+	e.injectPool(&spec.Opt)
+	return e.svc.RunPipeline(ctx, spec)
+}

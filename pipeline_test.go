@@ -1,0 +1,298 @@
+package apujoin
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/oracle"
+	"apujoin/internal/rel"
+	"apujoin/internal/service"
+)
+
+// pipelineFixture registers the three-relation workload the pipeline tests
+// share: a build side, a wide selectivity-1 probe and a narrow selective
+// probe, so the cost-based orderer has a real choice to make.
+func pipelineFixture(t *testing.T, eng *Engine) (rels []Relation) {
+	t.Helper()
+	specs := []struct {
+		name string
+		of   string
+		gen  Gen
+		sel  float64
+	}{
+		{name: "orders", gen: Gen{N: 30000, Seed: 11}},
+		{name: "lineitem", of: "orders", gen: Gen{N: 40000, Dist: LowSkew, Seed: 12}, sel: 1.0},
+		{name: "returns", of: "orders", gen: Gen{N: 20000, Seed: 13}, sel: 0.2},
+	}
+	for _, sp := range specs {
+		var err error
+		if sp.of == "" {
+			_, err = eng.Register(sp.name, sp.gen)
+		} else {
+			_, err = eng.RegisterProbe(sp.name, sp.of, sp.gen, sp.sel)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	build := specs[0].gen.Build()
+	return []Relation{
+		build,
+		specs[1].gen.Probe(build, specs[1].sel),
+		specs[2].gen.Probe(build, specs[2].sel),
+	}
+}
+
+var pipelineTestOpts = []JoinOption{WithDelta(0.1), WithPilotItems(1 << 10)}
+
+// TestPipelineMatchesManualChain is the PR's acceptance contract: a
+// 3-relation pipeline's final Result is bit-identical to manually chaining
+// pairwise Join calls in the chosen order — with the intermediates
+// materialized by hand — for worker counts 1 and GOMAXPROCS, under both an
+// explicit configuration and the auto planner; and the final match count
+// equals the brute-force multi-way oracle.
+func TestPipelineMatchesManualChain(t *testing.T) {
+	modes := []struct {
+		name string
+		opts []JoinOption
+	}{
+		{"explicit PHJ-DD", append([]JoinOption{WithAlgo(PHJ), WithScheme(DD)}, pipelineTestOpts...)},
+		{"auto", append([]JoinOption{WithAuto()}, pipelineTestOpts...)},
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		eng := NewEngine(Workers(workers))
+		defer eng.Close()
+		rels := pipelineFixture(t, eng)
+		want := oracle.PipelineCount(rels)
+		ctx := context.Background()
+		for _, m := range modes {
+			t.Run(m.name, func(t *testing.T) {
+				pr, err := eng.JoinPipeline(ctx, Pipeline{Sources: []Source{
+					Ref("orders"), Ref("lineitem"), Ref("returns"),
+				}}, m.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pr.Final.Matches != want {
+					t.Errorf("workers=%d: pipeline matches %d, want oracle %d", workers, pr.Final.Matches, want)
+				}
+				if !pr.Ordered {
+					t.Error("all-catalog pipeline was not cost-ordered")
+				}
+				// The wide selectivity-1 join (orders ⋈ lineitem) must not
+				// run first: any other pair estimates a smaller intermediate.
+				if pr.Order[0] == 0 && pr.Order[1] == 1 {
+					t.Errorf("orderer kept the worst-first declaration prefix: %v", pr.Order)
+				}
+				if len(pr.Steps) != 2 || pr.Steps[len(pr.Steps)-1].Result != pr.Final {
+					t.Fatalf("steps = %d, final not last step's result", len(pr.Steps))
+				}
+
+				// Manual chain in the chosen order, same options per step.
+				cur := rels[pr.Order[0]]
+				var final *Result
+				for i := 1; i < len(pr.Order); i++ {
+					probe := rels[pr.Order[i]]
+					res, err := eng.Join(ctx, Inline(cur), Inline(probe), m.opts...)
+					if err != nil {
+						t.Fatalf("manual step %d: %v", i, err)
+					}
+					final = res
+					if i < len(pr.Order)-1 {
+						cur = rel.JoinMaterialize(cur, probe)
+					}
+				}
+				if !reflect.DeepEqual(pr.Final, final) {
+					t.Errorf("workers=%d: pipeline final Result differs from the manual chain", workers)
+				}
+				// Per-step results match the manual chain's counts too.
+				if pr.Steps[0].OutTuples != int64(rel.JoinMaterialize(rels[pr.Order[0]], rels[pr.Order[1]]).Len()) {
+					t.Errorf("step 0 out tuples %d disagree with materialization", pr.Steps[0].OutTuples)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineWorkersInvariance mirrors core.TestWorkersInvariance at the
+// pipeline level: the entire PipelineResult — order, every step's Result,
+// every simulated number — is bit-identical between a 1-worker and a
+// GOMAXPROCS engine.
+func TestPipelineWorkersInvariance(t *testing.T) {
+	results := make([]*PipelineResult, 0, 2)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		eng := NewEngine(Workers(workers))
+		pipelineFixture(t, eng)
+		pr, err := eng.JoinPipeline(context.Background(), Pipeline{Sources: []Source{
+			Ref("orders"), Ref("lineitem"), Ref("returns"),
+		}}, append([]JoinOption{WithAuto()}, pipelineTestOpts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, pr)
+		eng.Close()
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Error("PipelineResult differs between 1 worker and GOMAXPROCS")
+	}
+}
+
+// TestPipelineColdWarmPlanCacheInvariance: an auto pipeline is bit-identical
+// whether its steps plan against a cold or a warm plan cache — the second
+// run hits the cache (observably) and changes nothing else.
+func TestPipelineColdWarmPlanCacheInvariance(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	pipelineFixture(t, eng)
+	opts := append([]JoinOption{WithAuto()}, pipelineTestOpts...)
+	p := Pipeline{Sources: []Source{Ref("orders"), Ref("lineitem"), Ref("returns")}}
+
+	cold, err := eng.JoinPipeline(context.Background(), p, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.JoinPipeline(context.Background(), p, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Steps {
+		if cold.Steps[i].Plan == nil || warm.Steps[i].Plan == nil {
+			t.Fatalf("step %d: missing plan info on an auto pipeline", i)
+		}
+		if cold.Steps[i].Plan.CacheHit {
+			t.Errorf("step %d: cold run reported a cache hit", i)
+		}
+		if !warm.Steps[i].Plan.CacheHit {
+			t.Errorf("step %d: warm run missed the cache", i)
+		}
+		if !reflect.DeepEqual(cold.Steps[i].Result, warm.Steps[i].Result) {
+			t.Errorf("step %d: Result differs between cold and warm plan cache", i)
+		}
+	}
+	if !reflect.DeepEqual(cold.Final, warm.Final) {
+		t.Error("final Result differs between cold and warm plan cache")
+	}
+	if cold.TotalNS != warm.TotalNS {
+		t.Errorf("TotalNS %.0f (cold) != %.0f (warm)", cold.TotalNS, warm.TotalNS)
+	}
+}
+
+// TestPipelineInlineDeclarationOrder: inline sources carry no catalog
+// statistics, so the pipeline runs in declaration order — and still
+// matches the oracle.
+func TestPipelineInlineDeclarationOrder(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	r := Gen{N: 8000, Seed: 3}.Build()
+	s := Gen{N: 12000, Dist: HighSkew, Seed: 4}.Probe(r, 0.8)
+	u := Gen{N: 6000, Seed: 5}.Probe(r, 0.5)
+	srcs := []Source{Inline(r), Inline(s), Inline(u)}
+
+	pr, err := eng.JoinPipeline(context.Background(), Pipeline{Sources: srcs}, pipelineTestOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Ordered {
+		t.Error("inline pipeline claims cost-based ordering")
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(pr.Order, want) {
+		t.Errorf("order = %v, want declaration %v", pr.Order, want)
+	}
+	if want := oracle.PipelineCount([]Relation{r, s, u}); pr.Final.Matches != want {
+		t.Errorf("matches %d, want oracle %d", pr.Final.Matches, want)
+	}
+	// DeclaredOrder on all-catalog sources pins declaration order too.
+	pipelineFixture(t, eng)
+	dp, err := eng.JoinPipeline(context.Background(), Pipeline{
+		Sources:       []Source{Ref("orders"), Ref("lineitem"), Ref("returns")},
+		DeclaredOrder: true,
+	}, pipelineTestOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Ordered || !reflect.DeepEqual(dp.Order, []int{0, 1, 2}) {
+		t.Errorf("DeclaredOrder: ordered=%v order=%v", dp.Ordered, dp.Order)
+	}
+}
+
+// TestPipelineErrors covers the argument and resolution failure modes.
+func TestPipelineErrors(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+
+	if _, err := eng.JoinPipeline(ctx, Pipeline{Sources: []Source{Ref("x")}}); !errors.Is(err, service.ErrPipelineTooShort) {
+		t.Errorf("1-source pipeline: err %v, want ErrPipelineTooShort", err)
+	}
+	if _, err := eng.JoinPipeline(ctx, Pipeline{Sources: []Source{Ref("nope"), Ref("nada")}}); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("unknown refs: err %v, want catalog.ErrNotFound", err)
+	}
+	// An intermediate that does not fit the catalog's residency budget
+	// fails the pipeline with ErrNoSpace.
+	// Capacity fits the two 64–72 KB inputs but not the 72 KB intermediate
+	// the selectivity-1 first step materializes.
+	small := NewEngine(CatalogCapacity(150 << 10))
+	defer small.Close()
+	r := Gen{N: 8000, Seed: 1}.Build()
+	s := Gen{N: 9000, Seed: 2}.Probe(r, 1.0)
+	u := Gen{N: 8000, Seed: 6}.Probe(r, 1.0)
+	if _, err := small.Load("r", r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Load("s", s); err != nil {
+		t.Fatal(err)
+	}
+	_, err := small.JoinPipeline(ctx, Pipeline{Sources: []Source{Ref("r"), Ref("s"), Inline(u)}}, pipelineTestOpts...)
+	if !errors.Is(err, catalog.ErrNoSpace) {
+		t.Errorf("oversized intermediate: err %v, want catalog.ErrNoSpace", err)
+	}
+	// The failed pipeline released everything it pinned: the residency
+	// budget is back to the two registered relations.
+	if got, want := small.svc.Stats().Catalog.Bytes, r.Bytes()+s.Bytes(); got != want {
+		t.Errorf("catalog bytes after failed pipeline = %d, want %d", got, want)
+	}
+}
+
+// TestEngineClosePipelinesInFlight: Close with pipelines mid-flight leaks
+// no goroutines — in-flight chains complete on their submitter goroutines
+// and the resident workers drain.
+func TestEngineClosePipelinesInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	eng := NewEngine(Workers(4))
+	pipelineFixture(t, eng)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := eng.JoinPipeline(context.Background(), Pipeline{Sources: []Source{
+				Ref("orders"), Ref("lineitem"), Ref("returns"),
+			}}, pipelineTestOpts...)
+			if err != nil {
+				t.Errorf("in-flight pipeline: %v", err)
+			}
+		}()
+	}
+	// Let the pipelines start, then close the engine underneath them.
+	time.Sleep(2 * time.Millisecond)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after Close: %d, want <= %d", g, before)
+	}
+}
