@@ -93,11 +93,16 @@ type pipelineRequest struct {
 	Scheme        string           `json:"scheme"`
 	Arch          string           `json:"arch"`
 	DeclaredOrder bool             `json:"declared_order"`
-	Separate      bool             `json:"separate"`
-	Grouping      bool             `json:"grouping"`
-	Delta         float64          `json:"delta"`
-	CountOnly     bool             `json:"count_only"`
-	Wait          bool             `json:"wait"`
+	// Materialized routes every intermediate through the catalog (pinned
+	// and charged until the pipeline finishes) instead of the default
+	// streamed hand-off; results are identical, only the resident footprint
+	// differs.
+	Materialized bool    `json:"materialized"`
+	Separate     bool    `json:"separate"`
+	Grouping     bool    `json:"grouping"`
+	Delta        float64 `json:"delta"`
+	CountOnly    bool    `json:"count_only"`
+	Wait         bool    `json:"wait"`
 }
 
 // pipelineStepReport is one executed pairwise step of a pipeline response.
@@ -117,10 +122,15 @@ type pipelineStepReport struct {
 type pipelineReport struct {
 	Sources            int                  `json:"sources"`
 	Ordered            bool                 `json:"ordered"`
+	Streamed           bool                 `json:"streamed"`
 	Order              []int                `json:"order"`
 	Steps              []pipelineStepReport `json:"steps"`
 	IntermediateTuples int64                `json:"intermediate_tuples"`
 	IntermediateBytes  int64                `json:"intermediate_bytes"`
+	// PeakIntermediateBytes is the pipeline's resident intermediate
+	// high-water mark: at most one transient intermediate when streamed,
+	// every intermediate plus its catalog statistics when materialized.
+	PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
 }
 
 // batchRequest is the JSON body of POST /v1/batch: many joins admitted in
@@ -290,6 +300,7 @@ func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, er
 	spec.Opt.Delta = req.Delta
 	spec.Opt.CountOnly = req.CountOnly
 	spec.DeclaredOrder = req.DeclaredOrder
+	spec.Materialized = req.Materialized
 
 	for i, src := range req.Sources {
 		if src.Name != "" {
@@ -359,11 +370,13 @@ func response(q *service.Query) joinResponse {
 		// Result and its phases describe the final step alone).
 		resp.TotalMS = info.SimulatedNS / 1e6
 		pr := &pipelineReport{
-			Sources:            pi.Sources,
-			Ordered:            pi.Ordered,
-			Order:              pi.Order,
-			IntermediateTuples: pi.IntermediateTuples,
-			IntermediateBytes:  pi.IntermediateBytes,
+			Sources:               pi.Sources,
+			Ordered:               pi.Ordered,
+			Streamed:              pi.Streamed,
+			Order:                 pi.Order,
+			IntermediateTuples:    pi.IntermediateTuples,
+			IntermediateBytes:     pi.IntermediateBytes,
+			PeakIntermediateBytes: pi.PeakIntermediateBytes,
 		}
 		for _, st := range pi.Steps {
 			sr := pipelineStepReport{

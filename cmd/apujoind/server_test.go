@@ -315,6 +315,32 @@ func TestPipelineEndpoint(t *testing.T) {
 	if resp["matches"].(float64) <= 0 {
 		t.Errorf("matches = %v, want > 0", resp["matches"])
 	}
+	if pipe["streamed"] != true {
+		t.Errorf("default pipeline not streamed: %v", pipe["streamed"])
+	}
+	streamedPeak := pipe["peak_intermediate_bytes"].(float64)
+	if streamedPeak <= 0 {
+		t.Errorf("streamed peak_intermediate_bytes = %v, want > 0", streamedPeak)
+	}
+	streamedMatches := resp["matches"].(float64)
+
+	// The same pipeline with materialized:true reports the mode, an equal
+	// result, and a strictly larger resident footprint.
+	st, resp = do(t, "POST", ts.URL+"/v1/pipeline",
+		`{"algo":"auto","delta":0.1,"materialized":true,"sources":[{"name":"orders"},{"name":"lineitem"},{"name":"returns"}],"wait":true}`)
+	if st != 200 || resp["state"] != "done" {
+		t.Fatalf("materialized pipeline: status %d, resp %v", st, resp)
+	}
+	pipe = resp["pipeline"].(map[string]any)
+	if pipe["streamed"] != false {
+		t.Errorf("materialized pipeline claims streamed: %v", pipe["streamed"])
+	}
+	if got := resp["matches"].(float64); got != streamedMatches {
+		t.Errorf("materialized matches %v != streamed matches %v", got, streamedMatches)
+	}
+	if peak := pipe["peak_intermediate_bytes"].(float64); peak <= streamedPeak {
+		t.Errorf("materialized peak %v not above streamed peak %v", peak, streamedPeak)
+	}
 
 	// Inline generated sources over one key range: no catalog statistics,
 	// so declaration order — and the equal specs join every tuple.
@@ -332,11 +358,22 @@ func TestPipelineEndpoint(t *testing.T) {
 	if got := resp["matches"].(float64); got != 4000 {
 		t.Errorf("inline pipeline matches = %v, want 4000", got)
 	}
-	// The stats surface picked up the pipeline counters.
+	// The stats surface picked up the pipeline counters, including the
+	// per-mode peak-footprint gauges.
 	if st, stats := do(t, "GET", ts.URL+"/v1/stats", ""); st != 200 {
 		t.Fatalf("stats: %d", st)
-	} else if stats["pipelines"].(float64) < 2 {
-		t.Errorf("stats pipelines = %v, want >= 2", stats["pipelines"])
+	} else {
+		if stats["pipelines"].(float64) < 3 {
+			t.Errorf("stats pipelines = %v, want >= 3", stats["pipelines"])
+		}
+		if stats["streamed_pipelines"].(float64) < 2 {
+			t.Errorf("stats streamed_pipelines = %v, want >= 2", stats["streamed_pipelines"])
+		}
+		sp := stats["peak_intermediate_bytes_streamed"].(float64)
+		mp := stats["peak_intermediate_bytes_materialized"].(float64)
+		if sp <= 0 || mp <= sp {
+			t.Errorf("per-mode peaks: streamed %v, materialized %v (want 0 < streamed < materialized)", sp, mp)
+		}
 	}
 }
 

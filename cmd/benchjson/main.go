@@ -9,12 +9,14 @@
 // broken benchmark breaks CI instead of silently uploading an empty file.
 //
 // With -compare it becomes the CI benchmark-regression gate: it diffs two
-// JSON documents — host ns/op and every shared custom metric ending in
-// "ns/op" (the deterministic sim_ns/op simulated times in particular) —
-// and exits non-zero when any metric of a baseline benchmark slowed down
-// by more than -tol (fraction, default 0.25):
+// JSON documents — host ns/op, every shared custom metric ending in
+// "ns/op" (the deterministic sim_ns/op simulated times in particular) and
+// every custom metric ending in "bytes/op" (the deterministic peak_bytes/op
+// resident footprints) — and exits non-zero when any metric of a baseline
+// benchmark grew by more than its tolerance (fraction, default -tol 0.25;
+// -tol-metric unit=frac overrides it per metric and repeats):
 //
-//	benchjson -compare BENCH_parallel.json fresh.json -tol 0.25
+//	benchjson -compare BENCH_plan.json fresh.json -tol 0.25 -tol-metric peak_bytes/op=0
 //
 // The diff table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, to
 // the job summary as Markdown. Benchmark names are matched with the
@@ -130,13 +132,16 @@ type diffRow struct {
 	Note       string
 }
 
-// timeMetrics lists the comparable metrics of one benchmark: host ns/op
-// plus every custom metric whose unit ends in "ns/op" (sim_ns/op etc.).
-// Throughput and allocation metrics are archived but not gated.
-func timeMetrics(b Benchmark) map[string]float64 {
+// gatedMetrics lists the comparable metrics of one benchmark: host ns/op,
+// every custom metric whose unit ends in "ns/op" (sim_ns/op etc.) and
+// every custom metric ending in "bytes/op" (peak_bytes/op etc. — like the
+// simulated times, model outputs that are machine-independent and always
+// gate). Throughput and host allocation metrics are archived but not
+// gated.
+func gatedMetrics(b Benchmark) map[string]float64 {
 	m := map[string]float64{"ns/op": b.NsPerOp}
 	for unit, v := range b.Metrics {
-		if strings.HasSuffix(unit, "ns/op") {
+		if strings.HasSuffix(unit, "ns/op") || strings.HasSuffix(unit, "bytes/op") {
 			m[unit] = v
 		}
 	}
@@ -145,15 +150,16 @@ func timeMetrics(b Benchmark) map[string]float64 {
 
 // compareReports diffs new against the old baseline. Rows come back in a
 // deterministic order (benchmark name, then metric name); regression marks
-// a metric that slowed down beyond tol or a baseline benchmark that
-// disappeared.
+// a metric that grew beyond its tolerance — metricTol[unit] when set, tol
+// otherwise — or a baseline benchmark that disappeared.
 //
 // Host wall-clock ("ns/op") is machine-dependent, so it gates only when
 // both reports come from like machines — GOMAXPROCS equality is the proxy
 // the reports carry — and is informational otherwise. The deterministic
-// simulated metrics ("sim_ns/op" etc.) are machine-independent and always
-// gate: any drift there is a real model or engine change.
-func compareReports(oldR, newR Report, tol float64) []diffRow {
+// simulated metrics ("sim_ns/op", "peak_bytes/op" etc.) are
+// machine-independent and always gate: any drift there is a real model or
+// engine change.
+func compareReports(oldR, newR Report, tol float64, metricTol map[string]float64) []diffRow {
 	gateWall := oldR.GOMAXPROCS == newR.GOMAXPROCS
 	newByName := make(map[string]Benchmark, len(newR.Benchmarks))
 	for _, b := range newR.Benchmarks {
@@ -173,7 +179,7 @@ func compareReports(oldR, newR Report, tol float64) []diffRow {
 			})
 			continue
 		}
-		om, nm := timeMetrics(ob), timeMetrics(nb)
+		om, nm := gatedMetrics(ob), gatedMetrics(nb)
 		metrics := make([]string, 0, len(om))
 		for metric := range om {
 			metrics = append(metrics, metric)
@@ -190,9 +196,13 @@ func compareReports(oldR, newR Report, tol float64) []diffRow {
 				continue
 			}
 			row := diffRow{Name: name, Metric: metric, Old: ov, New: nv}
+			mtol, hasMtol := metricTol[metric]
+			if !hasMtol {
+				mtol = tol
+			}
 			if ov > 0 {
 				row.Delta = (nv - ov) / ov
-				row.Regression = row.Delta > tol
+				row.Regression = row.Delta > mtol
 			}
 			if metric == "ns/op" && !gateWall {
 				row.Regression = false
@@ -229,7 +239,7 @@ func loadReport(path string) (Report, error) {
 }
 
 // runCompare executes the -compare mode and returns the process exit code.
-func runCompare(oldPath, newPath string, tol float64) int {
+func runCompare(oldPath, newPath string, tol float64, metricTol map[string]float64) int {
 	old, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -240,7 +250,7 @@ func runCompare(oldPath, newPath string, tol float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	rows := compareReports(old, newer, tol)
+	rows := compareReports(old, newer, tol, metricTol)
 
 	regressions := 0
 	var plain, md strings.Builder
@@ -287,33 +297,49 @@ func runCompare(oldPath, newPath string, tol float64) int {
 
 // parseArgs handles both "-compare old new -tol 0.25" and
 // "-compare -tol 0.25 old new" without the flag package, whose parsing
-// stops at the first positional argument.
-func parseArgs(args []string) (compare bool, files []string, tol float64, err error) {
+// stops at the first positional argument. -tol-metric unit=frac repeats
+// and overrides -tol for that one metric unit.
+func parseArgs(args []string) (compare bool, files []string, tol float64, metricTol map[string]float64, err error) {
 	tol = 0.25
+	metricTol = make(map[string]float64)
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-compare", "--compare":
 			compare = true
 		case "-tol", "--tol":
 			if i+1 >= len(args) {
-				return false, nil, 0, fmt.Errorf("-tol needs a value")
+				return false, nil, 0, nil, fmt.Errorf("-tol needs a value")
 			}
 			i++
 			tol, err = strconv.ParseFloat(args[i], 64)
 			if err != nil || tol < 0 {
-				return false, nil, 0, fmt.Errorf("bad -tol %q", args[i])
+				return false, nil, 0, nil, fmt.Errorf("bad -tol %q", args[i])
 			}
+		case "-tol-metric", "--tol-metric":
+			if i+1 >= len(args) {
+				return false, nil, 0, nil, fmt.Errorf("-tol-metric needs unit=frac")
+			}
+			i++
+			unit, frac, ok := strings.Cut(args[i], "=")
+			if !ok || unit == "" {
+				return false, nil, 0, nil, fmt.Errorf("bad -tol-metric %q, want unit=frac", args[i])
+			}
+			v, perr := strconv.ParseFloat(frac, 64)
+			if perr != nil || v < 0 {
+				return false, nil, 0, nil, fmt.Errorf("bad -tol-metric %q, want unit=frac", args[i])
+			}
+			metricTol[unit] = v
 		case "-h", "--help":
-			return false, nil, 0, fmt.Errorf("usage: benchjson < bench.txt > bench.json\n       benchjson -compare old.json new.json [-tol 0.25]")
+			return false, nil, 0, nil, fmt.Errorf("usage: benchjson < bench.txt > bench.json\n       benchjson -compare old.json new.json [-tol 0.25] [-tol-metric unit=frac]...")
 		default:
 			files = append(files, args[i])
 		}
 	}
-	return compare, files, tol, nil
+	return compare, files, tol, metricTol, nil
 }
 
 func main() {
-	compare, files, tol, err := parseArgs(os.Args[1:])
+	compare, files, tol, metricTol, err := parseArgs(os.Args[1:])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(2)
@@ -323,7 +349,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(files[0], files[1], tol))
+		os.Exit(runCompare(files[0], files[1], tol, metricTol))
 	}
 	if len(files) != 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: file arguments are only valid with -compare")

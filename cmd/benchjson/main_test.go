@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkParallelSpeedup/workers=2-8   \t       3\t  456789 ns/op\t  12.34 MB/s\t     100 B/op\t       5 allocs/op")
@@ -73,7 +79,7 @@ func TestCompareReports(t *testing.T) {
 		{Name: "BenchmarkNew-8", NsPerOp: 1},
 	}}
 
-	rows := compareReports(old, fresh, 0.25)
+	rows := compareReports(old, fresh, 0.25, nil)
 	byKey := map[string]diffRow{}
 	for _, r := range rows {
 		byKey[r.Name+"|"+r.Metric] = r
@@ -116,7 +122,7 @@ func TestCompareReportsUnlikeMachines(t *testing.T) {
 	fresh := Report{GOMAXPROCS: 4, Benchmarks: []Benchmark{
 		{Name: "BenchmarkA-4", NsPerOp: 5000, Metrics: map[string]float64{"sim_ns/op": 700}},
 	}}
-	rows := compareReports(old, fresh, 0.25)
+	rows := compareReports(old, fresh, 0.25, nil)
 	for _, r := range rows {
 		switch r.Metric {
 		case "ns/op":
@@ -134,18 +140,125 @@ func TestCompareReportsUnlikeMachines(t *testing.T) {
 	}
 }
 
+// writeReport marshals a Report to a file under dir and returns its path.
+func writeReport(t *testing.T, dir, name string, r Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCompare drives the -compare mode end to end through real files:
+// exit 0 when everything is within tolerance, 1 on a regression, 2 on an
+// unreadable or malformed report — and the Markdown summary lands in
+// $GITHUB_STEP_SUMMARY when set.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"sim_ns/op": 500}},
+	}})
+	ok := writeReport(t, dir, "ok.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1001, Metrics: map[string]float64{"sim_ns/op": 500}},
+	}})
+	bad := writeReport(t, dir, "bad.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"sim_ns/op": 900}},
+	}})
+
+	summary := filepath.Join(dir, "summary.md")
+	t.Setenv("GITHUB_STEP_SUMMARY", summary)
+	if code := runCompare(old, ok, 0.25, nil); code != 0 {
+		t.Errorf("within-tolerance compare exited %d", code)
+	}
+	if code := runCompare(old, bad, 0.25, nil); code != 1 {
+		t.Errorf("regressed compare exited %d, want 1", code)
+	}
+	if data, err := os.ReadFile(summary); err != nil || !strings.Contains(string(data), "| benchmark |") {
+		t.Errorf("step summary not written: err=%v contents=%q", err, data)
+	}
+
+	if code := runCompare(filepath.Join(dir, "absent.json"), ok, 0.25, nil); code != 2 {
+		t.Errorf("missing baseline file exited %d, want 2", code)
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(old, garbled, 0.25, nil); code != 2 {
+		t.Errorf("malformed report exited %d, want 2", code)
+	}
+}
+
 func TestParseArgs(t *testing.T) {
 	// The documented order: -compare old new -tol 0.25.
-	compare, files, tol, err := parseArgs([]string{"-compare", "a.json", "b.json", "-tol", "0.5"})
+	compare, files, tol, _, err := parseArgs([]string{"-compare", "a.json", "b.json", "-tol", "0.5"})
 	if err != nil || !compare || tol != 0.5 || len(files) != 2 {
 		t.Fatalf("parseArgs: compare=%v files=%v tol=%v err=%v", compare, files, tol, err)
 	}
 	// Flags-first order works too, and tol defaults to 0.25.
-	compare, files, tol, err = parseArgs([]string{"-compare", "a", "b"})
+	compare, files, tol, _, err = parseArgs([]string{"-compare", "a", "b"})
 	if err != nil || !compare || tol != 0.25 || len(files) != 2 {
 		t.Fatalf("parseArgs default tol: compare=%v files=%v tol=%v err=%v", compare, files, tol, err)
 	}
-	if _, _, _, err := parseArgs([]string{"-compare", "a", "b", "-tol", "x"}); err == nil {
+	if _, _, _, _, err := parseArgs([]string{"-compare", "a", "b", "-tol", "x"}); err == nil {
 		t.Fatal("bad -tol accepted")
+	}
+	// Repeatable per-metric tolerances.
+	_, _, _, mt, err := parseArgs([]string{"-compare", "a", "b",
+		"-tol-metric", "peak_bytes/op=0", "-tol-metric", "sim_ns/op=0.1"})
+	if err != nil || mt["peak_bytes/op"] != 0 || mt["sim_ns/op"] != 0.1 {
+		t.Fatalf("parseArgs -tol-metric: mt=%v err=%v", mt, err)
+	}
+	for _, bad := range []string{"peak_bytes/op", "=0.1", "peak_bytes/op=x", "peak_bytes/op=-1"} {
+		if _, _, _, _, err := parseArgs([]string{"-tol-metric", bad}); err == nil {
+			t.Errorf("bad -tol-metric %q accepted", bad)
+		}
+	}
+	if _, _, _, _, err := parseArgs([]string{"-tol-metric"}); err == nil {
+		t.Error("-tol-metric without a value accepted")
+	}
+}
+
+// TestCompareReportsBytesMetrics: custom bytes/op metrics gate like the
+// simulated times — machine-independent, so across unlike machines too —
+// and a per-metric tolerance of 0 makes any growth a regression while the
+// default tolerance still applies to the other metrics.
+func TestCompareReportsBytesMetrics(t *testing.T) {
+	old := Report{GOMAXPROCS: 1, Benchmarks: []Benchmark{
+		{Name: "BenchmarkPipelineStreaming/streamed", NsPerOp: 1000,
+			Metrics: map[string]float64{"peak_bytes/op": 1 << 20, "sim_ns/op": 500}},
+	}}
+	fresh := Report{GOMAXPROCS: 4, Benchmarks: []Benchmark{
+		// +0.4% peak bytes, +10% sim time, wall clock way off (unlike machine).
+		{Name: "BenchmarkPipelineStreaming/streamed-4", NsPerOp: 9000,
+			Metrics: map[string]float64{"peak_bytes/op": 1<<20 + 4200, "sim_ns/op": 550}},
+	}}
+
+	rows := compareReports(old, fresh, 0.25, map[string]float64{"peak_bytes/op": 0})
+	byMetric := map[string]diffRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["peak_bytes/op"]; !r.Regression {
+		t.Errorf("peak_bytes/op growth above its 0 tolerance not gated: %+v", r)
+	}
+	if r := byMetric["sim_ns/op"]; r.Regression {
+		t.Errorf("sim_ns/op within default tolerance flagged: %+v", r)
+	}
+	if r := byMetric["ns/op"]; r.Regression {
+		t.Errorf("wall ns/op gated across unlike machines: %+v", r)
+	}
+
+	// Without the per-metric override, the small byte growth passes.
+	rows = compareReports(old, fresh, 0.25, nil)
+	for _, r := range rows {
+		if r.Metric == "peak_bytes/op" && r.Regression {
+			t.Errorf("peak_bytes/op within default tolerance flagged: %+v", r)
+		}
 	}
 }

@@ -2,10 +2,12 @@ package apujoin
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"apujoin/internal/catalog"
 	"apujoin/internal/oracle"
 	"apujoin/internal/rel"
 )
@@ -37,13 +39,23 @@ func fuzzCombos() []Options {
 // and every 3–4-relation pipeline, cost-ordered and declared — produces
 // exactly the brute-force oracle's match count, and that the pipeline
 // intermediates equal the oracle's reference join tuple for tuple. The
-// seed corpus lives in testdata/fuzz/FuzzJoinAgainstOracle and runs as a
-// plain unit test under `go test`; CI additionally explores new inputs
+// streamed (default) and materialized pipeline paths are compared step for
+// step, and a capacity-starved engine checks the residency-budget
+// invariant between them: streamed holds at most one intermediate, so it
+// succeeds whenever materialized does — and when even one intermediate is
+// too big it fails with the same ErrNoSpace, leaving the budget intact.
+// The seed corpus lives in testdata/fuzz/FuzzJoinAgainstOracle and runs as
+// a plain unit test under `go test`; CI additionally explores new inputs
 // with `go test -fuzz=FuzzJoinAgainstOracle -fuzztime=30s .`.
 func FuzzJoinAgainstOracle(f *testing.F) {
 	f.Add(int64(1), uint16(300), uint16(400), uint8(0), uint8(100), uint8(0))
 	f.Add(int64(7), uint16(900), uint16(700), uint8(1), uint8(50), uint8(1))
 	f.Add(int64(42), uint16(64), uint16(1000), uint8(2), uint8(25), uint8(0))
+	// A 4-relation selectivity-1 chain whose intermediates dwarf the inputs
+	// (budget pressure on the capacity-starved engine) and a zero-match
+	// chain streaming empty intermediates.
+	f.Add(int64(5005), uint16(900), uint16(901), uint8(0), uint8(100), uint8(1))
+	f.Add(int64(6006), uint16(700), uint16(500), uint8(1), uint8(0), uint8(0))
 
 	f.Fuzz(func(t *testing.T, seed int64, nr16, ns16 uint16, skew8, selPct8, four8 uint8) {
 		nr := int(nr16)%1024 + 1
@@ -114,6 +126,56 @@ func FuzzJoinAgainstOracle(f *testing.F) {
 		if declared.Final.Matches != wantPipe {
 			t.Errorf("declared pipeline: matches %d, oracle %d (seed=%d nrel=%d)",
 				declared.Final.Matches, wantPipe, seed, nrel)
+		}
+
+		// Streamed (the runs above) and materialized execution are
+		// bit-identical step for step on the same warm engine.
+		mat, err := eng.JoinPipeline(context.Background(),
+			Pipeline{Sources: refs, Materialize: true}, opts...)
+		if err != nil {
+			t.Fatalf("materialized pipeline: %v", err)
+		}
+		if !ordered.Streamed || mat.Streamed {
+			t.Fatalf("mode flags: streamed run %v, materialized run %v", ordered.Streamed, mat.Streamed)
+		}
+		if !reflect.DeepEqual(ordered.Order, mat.Order) || !reflect.DeepEqual(ordered.Final, mat.Final) {
+			t.Errorf("streamed and materialized pipelines diverge (seed=%d nrel=%d)", seed, nrel)
+		}
+		for i := range ordered.Steps {
+			if !reflect.DeepEqual(ordered.Steps[i].Result, mat.Steps[i].Result) {
+				t.Errorf("step %d: streamed Result differs from materialized (seed=%d)", i, seed)
+			}
+		}
+
+		// Budget invariant on an engine whose capacity barely exceeds the
+		// sources: if the materialized path fits, the streamed path (at
+		// most one intermediate resident) must too, with equal results;
+		// when streamed itself overflows, the error is ErrNoSpace and the
+		// budget is fully restored either way.
+		var srcBytes int64
+		for _, rl := range rels {
+			srcBytes += rl.Bytes()
+		}
+		tiny := NewEngine(Workers(2), CatalogCapacity(srcBytes+1024))
+		defer tiny.Close()
+		for i, rl := range rels {
+			if _, err := tiny.Load(fmt.Sprintf("rel%d", i), rl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tinySt, errSt := tiny.JoinPipeline(context.Background(), Pipeline{Sources: refs}, opts...)
+		tinyMat, errMat := tiny.JoinPipeline(context.Background(), Pipeline{Sources: refs, Materialize: true}, opts...)
+		if errMat == nil && errSt != nil {
+			t.Errorf("materialized fit the tiny budget but streamed failed: %v (seed=%d)", errSt, seed)
+		}
+		if errSt == nil && errMat == nil && !reflect.DeepEqual(tinySt.Final, tinyMat.Final) {
+			t.Errorf("tiny-budget streamed and materialized finals diverge (seed=%d)", seed)
+		}
+		if errSt != nil && !errors.Is(errSt, catalog.ErrNoSpace) {
+			t.Errorf("tiny-budget streamed failure is not ErrNoSpace: %v (seed=%d)", errSt, seed)
+		}
+		if got := tiny.svc.Stats().Catalog.Bytes; got != srcBytes {
+			t.Errorf("tiny budget not restored: %d bytes resident, want %d (seed=%d)", got, srcBytes, seed)
 		}
 	})
 }

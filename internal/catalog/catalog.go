@@ -169,6 +169,12 @@ type Stats struct {
 	Bytes     int64 `json:"bytes"`
 	Capacity  int64 `json:"capacity_bytes"`
 
+	// PeakBytes is the high-water mark of the resident zero-copy buffer
+	// over the catalog's lifetime — registered relations plus transient
+	// pipeline reservations. It is what a real coupled-architecture
+	// deployment would have to provision.
+	PeakBytes int64 `json:"peak_bytes"`
+
 	Registered int64 `json:"registered"`
 	Dropped    int64 `json:"dropped"`
 	// WorkloadReuses counts pair-workload lookups served from the
@@ -190,6 +196,7 @@ type Catalog struct {
 	workloads map[pairKey]plan.Workload
 
 	registered, dropped, reuses int64
+	peakBytes                   int64
 }
 
 // New returns an empty catalog whose resident relations may occupy up to
@@ -297,6 +304,9 @@ func (c *Catalog) insert(e *Entry) (Info, error) {
 	}
 	c.entries[e.name] = e
 	c.registered++
+	if c.zc.Used() > c.peakBytes {
+		c.peakBytes = c.zc.Used()
+	}
 	return e.infoLocked(), nil
 }
 
@@ -325,6 +335,58 @@ func (c *Catalog) Fits(bytes int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.zc.Fits(bytes)
+}
+
+// Reserve charges bytes of transient pipeline data against the resident
+// zero-copy budget without registering anything: the streamed pipeline
+// path holds its one in-flight intermediate through Reserve instead of
+// Load, so an intermediate the budget cannot hold fails with the same
+// ErrNoSpace as on the materialized path while nothing is measured,
+// indexed, named or pinned. The caller returns the bytes with Unreserve
+// when the consumer step has finished with them.
+func (c *Catalog) Reserve(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("catalog: negative reservation of %d bytes", bytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.zc.Alloc(bytes); err != nil {
+		return fmt.Errorf("%w: %d transient bytes, %d of %d in use",
+			ErrNoSpace, bytes, c.zc.Used(), c.zc.Capacity)
+	}
+	if c.zc.Used() > c.peakBytes {
+		c.peakBytes = c.zc.Used()
+	}
+	return nil
+}
+
+// Unreserve returns bytes taken by Reserve to the resident budget.
+func (c *Catalog) Unreserve(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zc.Free(bytes)
+}
+
+// StatBytes returns the resident footprint of the ingest-time statistics
+// the catalog builds for a relation of n tuples: the sorted key index (one
+// int32 per tuple) plus the strided key sample (one int32 per sampled
+// position — KeySample's stride arithmetic, targeted at
+// plan.WorkloadSample). The pipeline accountant uses it to attribute the
+// full cost of materializing an intermediate through the catalog; the
+// streamed path never builds these copies.
+func StatBytes(tuples int) int64 {
+	if tuples <= 0 {
+		return 0
+	}
+	stride := tuples / plan.WorkloadSample
+	if stride < 1 {
+		stride = 1
+	}
+	sampled := (tuples + stride - 1) / stride
+	return int64(tuples)*4 + int64(sampled)*4
 }
 
 // Acquire resolves a name to its entry and takes one pin; the caller must
@@ -448,6 +510,7 @@ func (c *Catalog) Stats() Stats {
 		Relations:      len(c.entries),
 		Bytes:          c.zc.Used(),
 		Capacity:       c.zc.Capacity,
+		PeakBytes:      c.peakBytes,
 		Registered:     c.registered,
 		Dropped:        c.dropped,
 		WorkloadReuses: c.reuses,

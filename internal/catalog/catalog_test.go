@@ -162,6 +162,98 @@ func TestCapacityEnforced(t *testing.T) {
 	}
 }
 
+// TestReserveAccounting: transient pipeline reservations share the budget
+// with registered relations — Fits and Reserve agree, overflow is
+// ErrNoSpace, Unreserve returns the bytes — and the PeakBytes high-water
+// mark records the worst simultaneous residency either path reached.
+func TestReserveAccounting(t *testing.T) {
+	c := New(1024 * 8)
+	if _, err := c.RegisterGen("half", rel.Gen{N: 512, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Fits(512 * 8) {
+		t.Error("Fits rejected a reservation exactly at capacity")
+	}
+	if c.Fits(512*8 + 1) {
+		t.Error("Fits accepted a reservation beyond capacity")
+	}
+	if err := c.Reserve(512 * 8); err != nil {
+		t.Fatalf("reserve to capacity: %v", err)
+	}
+	if err := c.Reserve(8); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("reserve beyond capacity: err %v, want ErrNoSpace", err)
+	}
+	if err := c.Reserve(-1); err == nil {
+		t.Error("negative reservation accepted")
+	}
+	c.Unreserve(512 * 8)
+	st := c.Stats()
+	if st.Bytes != 512*8 {
+		t.Errorf("bytes %d after unreserve, want %d", st.Bytes, 512*8)
+	}
+	if st.PeakBytes != 1024*8 {
+		t.Errorf("peak %d, want the full-capacity high-water %d", st.PeakBytes, 1024*8)
+	}
+	// Unreserve of nothing is a no-op; the peak never decreases.
+	c.Unreserve(0)
+	if st := c.Stats(); st.PeakBytes != 1024*8 {
+		t.Errorf("peak moved to %d on a no-op", st.PeakBytes)
+	}
+}
+
+// TestStatBytes pins the statistics-footprint model to the catalog's
+// actual ingest arithmetic: one int32 per indexed tuple plus one per
+// KeySample position (stride = n/plan.WorkloadSample, floored to 1).
+func TestStatBytes(t *testing.T) {
+	if got := StatBytes(0); got != 0 {
+		t.Errorf("StatBytes(0) = %d", got)
+	}
+	for _, n := range []int{1, 100, plan.WorkloadSample, plan.WorkloadSample + 1, 3*plan.WorkloadSample + 7} {
+		want := int64(n)*4 + int64(len(rel.Gen{N: n, Seed: 9}.Build().KeySample(plan.WorkloadSample)))*4
+		if got := StatBytes(n); got != want {
+			t.Errorf("StatBytes(%d) = %d, want %d (index + sample)", n, got, want)
+		}
+	}
+}
+
+// TestEntryAccessors: the pinned-entry accessors surface the ingest-time
+// measurements, and Get/Relation resolve without pinning.
+func TestEntryAccessors(t *testing.T) {
+	c := New(0)
+	if _, err := c.RegisterGen("base", rel.Gen{N: 4096, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Build keys are a permutation (uniform by construction); skew lives in
+	// probe relations, so the skewed entry is a high-skew probe.
+	if _, err := c.RegisterProbe("skewed", "base", rel.Gen{N: 4096, Dist: rel.HighSkew, Seed: 2}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Acquire("skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release()
+	if e.Name() != "skewed" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+	if e.SkewBucket() <= 0 || e.HeavyShare() <= 0 {
+		t.Errorf("high-skew ingest measured bucket %d share %f", e.SkewBucket(), e.HeavyShare())
+	}
+	info, ok := c.Get("skewed")
+	if !ok || info.Tuples != 4096 || info.SkewBucket != e.SkewBucket() {
+		t.Errorf("Get: ok=%v info=%+v", ok, info)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("Get resolved an absent name")
+	}
+	if r, ok := c.Relation("skewed"); !ok || r.Len() != 4096 {
+		t.Errorf("Relation: ok=%v len=%d", ok, r.Len())
+	}
+	if _, ok := c.Relation("absent"); ok {
+		t.Error("Relation resolved an absent name")
+	}
+}
+
 func TestLoadValidates(t *testing.T) {
 	c := New(0)
 	bad := rel.Relation{RIDs: []int32{0, 1}, Keys: []int32{5}}

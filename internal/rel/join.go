@@ -16,10 +16,7 @@ package rel
 // The output length equals the pairwise match count (Result.Matches of the
 // corresponding join), which pipeline execution uses as a cross-check.
 func JoinMaterialize(r, s Relation) Relation {
-	counts := make(map[int32]int32, r.Len())
-	for _, k := range r.Keys {
-		counts[k]++
-	}
+	counts := KeyCounts(r)
 	var m int64
 	for _, k := range s.Keys {
 		m += int64(counts[k])
@@ -40,4 +37,19 @@ func JoinMaterialize(r, s Relation) Relation {
 		}
 	}
 	return out
+}
+
+// KeyCounts returns the key → multiplicity table of the relation — the
+// per-key match counts a hash table built over it would hold. It is the
+// compact producer state a pipeline hands from one join to the
+// construction of the next intermediate: together with the probe side's
+// key column it determines the materialized output completely, so
+// JoinMaterialize's single-stream pass and the engine's morsel-parallel
+// streamed producer (core.StreamMaterialize) agree bit for bit.
+func KeyCounts(r Relation) map[int32]int32 {
+	counts := make(map[int32]int32, r.Len())
+	for _, k := range r.Keys {
+		counts[k]++
+	}
+	return counts
 }

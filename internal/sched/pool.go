@@ -209,6 +209,32 @@ func (p *Pool) MapRange(lo, hi int, fn func(mlo, mhi int) device.Acct) device.Ac
 	return MergeAccts(accts)
 }
 
+// MapRangeCounts splits [lo,hi) into the fixed MorselItems grid, executes
+// fn over the morsels on the pool, and returns the per-morsel values in
+// grid order. It is the ordered-reduction sibling of MapRange for kernels
+// whose per-morsel result is a plain count rather than a device accounting
+// record: the streamed pipeline producer sizes each output morsel with it
+// (count pass) before the parallel fill. The grid — and with it the
+// returned slice — is a pure function of [lo,hi); the worker count only
+// decides which goroutine computes which entry.
+func (p *Pool) MapRangeCounts(lo, hi int, fn func(mlo, mhi int) int64) []int64 {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	m := (n + MorselItems - 1) / MorselItems
+	counts := make([]int64, m)
+	p.ForEach(m, func(i int) {
+		mlo := lo + i*MorselItems
+		mhi := mlo + MorselItems
+		if mhi > hi {
+			mhi = hi
+		}
+		counts[i] = fn(mlo, mhi)
+	})
+	return counts
+}
+
 // MapShards executes fn once per ownership shard on the pool and merges the
 // per-shard records in shard order. Kernels use it when tuples must be
 // routed by structure ownership (hash bucket or partition segment) rather

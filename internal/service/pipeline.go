@@ -42,6 +42,14 @@ type PipelineSpec struct {
 	// exactly as declared. The final match count is identical either way;
 	// only intermediate sizes and costs change.
 	DeclaredOrder bool
+	// Materialized forces every intermediate through the catalog — loaded,
+	// measured, pinned and charged until the pipeline finishes — instead of
+	// the default streamed hand-off, which keeps at most one transient
+	// intermediate resident and never registers it. Results are bit-identical
+	// either way; only the resident footprint (and the statistics built)
+	// differ. Set it when a consumer needs catalog-resident intermediates or
+	// to A/B the two paths.
+	Materialized bool
 }
 
 // PipelineStep reports one executed pairwise step of a pipeline.
@@ -76,22 +84,39 @@ type PipelineResult struct {
 	// TotalNS sums the simulated time of every step (the steps form a
 	// serial chain: each consumes the previous step's output).
 	TotalNS float64
-	// IntermediateTuples and IntermediateBytes total the intermediates
-	// materialized through the catalog; the bytes stay charged against the
-	// catalog's residency budget until the pipeline finishes.
+	// Streamed reports which execution path produced the intermediates:
+	// true for the default streamed hand-off (each step's matches are
+	// produced morsel-parallel directly into the next step's build input,
+	// reserved transiently and freed as soon as the consumer step finishes),
+	// false for the catalog-materialized path.
+	Streamed bool
+	// IntermediateTuples and IntermediateBytes total every intermediate the
+	// pipeline produced, on either path. On the materialized path the bytes
+	// stay charged against the catalog's residency budget until the
+	// pipeline finishes; on the streamed path at most one intermediate is
+	// charged at a time.
 	IntermediateTuples int64
 	IntermediateBytes  int64
+	// PeakIntermediateBytes is the high-water mark of the pipeline's
+	// resident intermediate footprint: relation bytes of the live
+	// intermediates, plus — on the materialized path — the ingest-time
+	// statistics (key index and sample) the catalog builds for each. This is
+	// the number the streamed path exists to shrink: Σ over all steps
+	// becomes max over single steps, with no statistics at all.
+	PeakIntermediateBytes int64
 }
 
 // PipelineInfo is the JSON-friendly snapshot of a pipeline query for
 // status surfaces, with per-step plan decisions.
 type PipelineInfo struct {
-	Sources            int                `json:"sources"`
-	Ordered            bool               `json:"ordered"`
-	Order              []int              `json:"order"`
-	Steps              []PipelineStepInfo `json:"steps"`
-	IntermediateTuples int64              `json:"intermediate_tuples"`
-	IntermediateBytes  int64              `json:"intermediate_bytes"`
+	Sources               int                `json:"sources"`
+	Ordered               bool               `json:"ordered"`
+	Streamed              bool               `json:"streamed"`
+	Order                 []int              `json:"order"`
+	Steps                 []PipelineStepInfo `json:"steps"`
+	IntermediateTuples    int64              `json:"intermediate_tuples"`
+	IntermediateBytes     int64              `json:"intermediate_bytes"`
+	PeakIntermediateBytes int64              `json:"peak_intermediate_bytes"`
 }
 
 // PipelineStepInfo is the snapshot of one pipeline step.
@@ -108,11 +133,13 @@ type PipelineStepInfo struct {
 // pipelineInfo snapshots a PipelineResult.
 func pipelineInfo(p *PipelineResult) *PipelineInfo {
 	info := &PipelineInfo{
-		Sources:            len(p.Order),
-		Ordered:            p.Ordered,
-		Order:              append([]int(nil), p.Order...),
-		IntermediateTuples: p.IntermediateTuples,
-		IntermediateBytes:  p.IntermediateBytes,
+		Sources:               len(p.Order),
+		Ordered:               p.Ordered,
+		Streamed:              p.Streamed,
+		Order:                 append([]int(nil), p.Order...),
+		IntermediateTuples:    p.IntermediateTuples,
+		IntermediateBytes:     p.IntermediateBytes,
+		PeakIntermediateBytes: p.PeakIntermediateBytes,
 	}
 	for _, st := range p.Steps {
 		si := PipelineStepInfo{
@@ -144,8 +171,9 @@ type pipeInput struct {
 
 // pipeJob is a resolved pipeline awaiting execution.
 type pipeJob struct {
-	sources  []pipeInput
-	declared bool
+	sources      []pipeInput
+	declared     bool
+	materialized bool
 }
 
 // resolvePipeline pins the named sources of a spec. The returned
@@ -156,7 +184,7 @@ func (s *Service) resolvePipeline(spec PipelineSpec) (resolvedSpec, error) {
 	if len(spec.Sources) < 2 {
 		return rs, fmt.Errorf("%w (got %d)", ErrPipelineTooShort, len(spec.Sources))
 	}
-	pj := &pipeJob{declared: spec.DeclaredOrder}
+	pj := &pipeJob{declared: spec.DeclaredOrder, materialized: spec.Materialized}
 	for i, src := range spec.Sources {
 		in := pipeInput{name: src.Name, rel: src.Rel}
 		if src.Name != "" {
@@ -208,11 +236,26 @@ func (s *Service) RunPipeline(ctx context.Context, spec PipelineSpec) (*Pipeline
 }
 
 // execPipeline runs a resolved pipeline: order the sources, then chain
-// pairwise joins, materializing each non-final step's output through the
-// catalog. Intermediates are pinned and charged against the catalog's
-// residency budget for the rest of the pipeline (their names unbind
-// immediately — a pipeline never pollutes the namespace) and released when
-// the pipeline finishes, successfully or not.
+// pairwise joins, handing each non-final step's output to the next step.
+//
+// On the default streamed path the hand-off never goes through the
+// catalog: the step's matches are produced morsel-parallel
+// (core.StreamMaterialize on the query's pool) directly into the buffer
+// the next step builds from, their relation bytes reserved transiently
+// against the catalog's residency budget — same budget, same ErrNoSpace —
+// and freed the moment the consumer step has derived its per-key state
+// from them. At most one intermediate is resident at a time and no key
+// index or sample is ever built for it.
+//
+// With pj.materialized the output instead goes through the catalog as a
+// registered relation: measured at ingest, pinned and charged (relation
+// bytes plus statistics) until the pipeline finishes, its reserved name
+// unbound immediately so a pipeline never pollutes the namespace.
+//
+// Both paths run the identical single-intermediate-construction order
+// (probe order, matches in build order, dense RIDs), so a pipeline's
+// Steps, Final and TotalNS are bit-identical between them and across
+// worker counts; only PeakIntermediateBytes differs.
 func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Options, auto bool) (*PipelineResult, error) {
 	n := len(pj.sources)
 
@@ -240,19 +283,36 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 		})
 	}
 
-	res := &PipelineResult{Order: order, Ordered: ordered}
+	res := &PipelineResult{Order: order, Ordered: ordered, Streamed: !pj.materialized}
 	id := s.pipeSeq.Add(1)
 
-	// Intermediate pins are released when the pipeline finishes — their
-	// zero-copy bytes stay charged for the pipeline's whole lifetime.
+	// Materialized intermediate pins are released when the pipeline
+	// finishes — their zero-copy bytes stay charged for the pipeline's
+	// whole lifetime. Streamed reservations are returned as each consumer
+	// step finishes with them; whatever is still reserved on exit (the last
+	// live intermediate, or one orphaned by an error) is returned here.
 	var inters []*catalog.Entry
+	var reserved int64
 	defer func() {
 		for _, e := range inters {
 			e.Release()
 		}
+		s.catalog.Unreserve(reserved)
 	}()
 
+	// The peak accountant tracks the resident intermediate footprint:
+	// relation bytes of every live intermediate plus, on the materialized
+	// path, the statistics the catalog built for it.
+	var residentBytes int64
+	charge := func(b int64) {
+		residentBytes += b
+		if residentBytes > res.PeakIntermediateBytes {
+			res.PeakIntermediateBytes = residentBytes
+		}
+	}
+
 	cur := pj.sources[order[0]]
+	var curTransient int64 // reserved bytes backing cur, when cur is streamed
 	for t := 1; t < n; t++ {
 		probe := pj.sources[order[t]]
 		stepOpt := opt
@@ -298,14 +358,52 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 			break
 		}
 
-		// Materialize the intermediate through the catalog: registered
-		// (measured at ingest like any relation, charged against the
-		// residency budget), pinned, and immediately unbound so the
-		// reserved name never collides or lingers in listings.
 		if stepRes.Matches > math.MaxInt32 {
 			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples exceeds the representable relation size",
 				t, cur.name, probe.name, stepRes.Matches)
 		}
+
+		if !pj.materialized {
+			// Streamed hand-off. The per-key state of the finished step's
+			// build side is all the producer needs from cur: once it is
+			// derived, a transient cur is freed *before* the new
+			// intermediate is reserved, so at most one streamed
+			// intermediate ever holds budget.
+			counts := rel.KeyCounts(cur.rel)
+			if curTransient > 0 {
+				s.catalog.Unreserve(curTransient)
+				reserved -= curTransient
+				residentBytes -= curTransient
+				curTransient = 0
+			}
+			// The step's exact match count is known before anything is
+			// allocated: reserving up front rejects an intermediate the
+			// residency budget cannot hold — same ErrNoSpace as the
+			// materialized path — before any host allocation happens.
+			bytes := stepRes.Matches * 8
+			if err := s.catalog.Reserve(bytes); err != nil {
+				return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+					t, cur.name, probe.name, stepRes.Matches, err)
+			}
+			reserved += bytes
+			inter := core.StreamMaterialize(opt.Pool, counts, probe.rel)
+			if int64(inter.Len()) != stepRes.Matches {
+				return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): streamed %d tuples but the join counted %d — engine bug",
+					t, cur.name, probe.name, inter.Len(), stepRes.Matches)
+			}
+			charge(bytes)
+			res.IntermediateTuples += int64(inter.Len())
+			res.IntermediateBytes += inter.Bytes()
+			cur = pipeInput{name: fmt.Sprintf("step%d", t), rel: inter}
+			curTransient = bytes
+			continue
+		}
+
+		// Materialize the intermediate through the catalog: registered
+		// (measured at ingest like any relation, charged against the
+		// residency budget), pinned, and immediately unbound so the
+		// reserved name never collides or lingers in listings.
+		//
 		// The step's exact match count is known before anything is
 		// allocated: reject an intermediate the residency budget cannot
 		// hold *before* materializing it — a skew-exploded join (two
@@ -332,6 +430,10 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 		if _, err := s.catalog.Drop(name); err != nil {
 			return nil, fmt.Errorf("pipeline step %d: intermediate: %w", t, err)
 		}
+		// Materialized intermediates stay pinned to the pipeline's end, so
+		// the footprint accumulates: relation bytes plus the ingest-time
+		// statistics (key index and sample) the catalog built.
+		charge(inter.Bytes() + catalog.StatBytes(inter.Len()))
 		res.IntermediateTuples += int64(inter.Len())
 		res.IntermediateBytes += inter.Bytes()
 		cur = pipeInput{name: fmt.Sprintf("step%d", t), rel: inter, entry: entry}

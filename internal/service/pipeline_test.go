@@ -117,6 +117,74 @@ func TestSubmitPipeline(t *testing.T) {
 	}
 }
 
+// TestPipelineStatsPerMode drives one streamed (default) and one
+// materialized pipeline through the admission layer and checks the mode
+// surfaces: the streamed counter, the per-mode peak-footprint stats, the
+// strict streamed < materialized ordering on this shape, the catalog's
+// lifetime high-water mark, and that both modes leave the residency budget
+// back at the registered relations.
+func TestPipelineStatsPerMode(t *testing.T) {
+	svc := New(Options{Workers: 2, MaxConcurrent: 1})
+	defer svc.Close()
+	rels := registerPipelineRels(t, svc)
+	var relBytes int64
+	for _, r := range rels {
+		relBytes += r.Bytes()
+	}
+
+	peaks := make(map[bool]int64)
+	for _, materialized := range []bool{false, true} {
+		spec := pipelineSpec(false)
+		spec.Materialized = materialized
+		q, err := svc.SubmitPipeline(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		pr, ok := q.Pipeline()
+		if !ok {
+			t.Fatal("no pipeline result")
+		}
+		if pr.Streamed == materialized {
+			t.Errorf("materialized=%v: Streamed=%v", materialized, pr.Streamed)
+		}
+		if pr.PeakIntermediateBytes <= 0 {
+			t.Errorf("materialized=%v: peak %d, want > 0", materialized, pr.PeakIntermediateBytes)
+		}
+		if info := q.Snapshot(); info.Pipeline == nil ||
+			info.Pipeline.Streamed == materialized ||
+			info.Pipeline.PeakIntermediateBytes != pr.PeakIntermediateBytes {
+			t.Errorf("materialized=%v: snapshot pipeline = %+v", materialized, info.Pipeline)
+		}
+		peaks[materialized] = pr.PeakIntermediateBytes
+	}
+	if peaks[false] >= peaks[true] {
+		t.Errorf("streamed peak %d not strictly below materialized peak %d", peaks[false], peaks[true])
+	}
+
+	st := svc.Stats()
+	if st.Pipelines != 2 || st.StreamedPipelines != 1 {
+		t.Errorf("stats pipelines=%d streamed=%d, want 2/1", st.Pipelines, st.StreamedPipelines)
+	}
+	if st.PeakIntermediateBytesStreamed != peaks[false] {
+		t.Errorf("stats streamed peak %d, want %d", st.PeakIntermediateBytesStreamed, peaks[false])
+	}
+	if st.PeakIntermediateBytesMaterialized != peaks[true] {
+		t.Errorf("stats materialized peak %d, want %d", st.PeakIntermediateBytesMaterialized, peaks[true])
+	}
+	// Both pipelines drained their budget charges, and the catalog's
+	// lifetime high-water mark recorded them: at least the relations plus
+	// the streamed reservation, and never more than capacity.
+	if st.Catalog.Bytes != relBytes {
+		t.Errorf("catalog bytes %d after pipelines, want %d", st.Catalog.Bytes, relBytes)
+	}
+	if st.Catalog.PeakBytes < relBytes+peaks[false] || st.Catalog.PeakBytes > st.Catalog.Capacity {
+		t.Errorf("catalog peak %d, want within [%d, %d]", st.Catalog.PeakBytes, relBytes+peaks[false], st.Catalog.Capacity)
+	}
+}
+
 // normalizeCacheHits returns a deep-enough copy of pr with every per-step
 // CacheHit cleared: whether a step's plan came from the cache depends on
 // what ran before, is allowed to vary, and changes nothing else — the

@@ -280,14 +280,22 @@ type Stats struct {
 	Batches int64 `json:"batches"`
 
 	// Pipelines counts completed multi-way pipeline queries and
-	// PipelineSteps their executed pairwise steps; IntermediateTuples and
-	// IntermediateBytes total the intermediates those pipelines
-	// materialized through the catalog (charged against the residency
-	// budget for each pipeline's lifetime, freed when it finishes).
-	Pipelines          int64 `json:"pipelines"`
-	PipelineSteps      int64 `json:"pipeline_steps"`
-	IntermediateTuples int64 `json:"intermediate_tuples"`
-	IntermediateBytes  int64 `json:"intermediate_bytes"`
+	// PipelineSteps their executed pairwise steps; StreamedPipelines counts
+	// the subset that ran the streamed hand-off (the default).
+	// IntermediateTuples and IntermediateBytes total the intermediates
+	// those pipelines produced on either path. The two peaks report the
+	// largest resident intermediate footprint any single completed pipeline
+	// reached on each path — the streamed peak holds at most one transient
+	// intermediate's relation bytes, the materialized peak every
+	// intermediate plus its catalog statistics — which is what the streamed
+	// path's CI-gated memory budget compares.
+	Pipelines                         int64 `json:"pipelines"`
+	StreamedPipelines                 int64 `json:"streamed_pipelines"`
+	PipelineSteps                     int64 `json:"pipeline_steps"`
+	IntermediateTuples                int64 `json:"intermediate_tuples"`
+	IntermediateBytes                 int64 `json:"intermediate_bytes"`
+	PeakIntermediateBytesStreamed     int64 `json:"peak_intermediate_bytes_streamed"`
+	PeakIntermediateBytesMaterialized int64 `json:"peak_intermediate_bytes_materialized"`
 
 	// Queued and Active are gauges: queries waiting for admission and
 	// queries currently executing.
@@ -761,6 +769,14 @@ func (s *Service) finish(q *Query, res *core.Result, err error, st State, starte
 			s.stats.PipelineSteps += int64(len(pipe.Steps))
 			s.stats.IntermediateTuples += pipe.IntermediateTuples
 			s.stats.IntermediateBytes += pipe.IntermediateBytes
+			if pipe.Streamed {
+				s.stats.StreamedPipelines++
+				if pipe.PeakIntermediateBytes > s.stats.PeakIntermediateBytesStreamed {
+					s.stats.PeakIntermediateBytesStreamed = pipe.PeakIntermediateBytes
+				}
+			} else if pipe.PeakIntermediateBytes > s.stats.PeakIntermediateBytesMaterialized {
+				s.stats.PeakIntermediateBytesMaterialized = pipe.PeakIntermediateBytes
+			}
 			s.stats.SimulatedNS += pipe.TotalNS
 			for _, step := range pipe.Steps {
 				sr := step.Result

@@ -9,10 +9,19 @@ import (
 // Pipeline describes a multi-way join over N ≥ 2 sources on the shared key
 // attribute, executed as a chain of the engine's pairwise joins: the first
 // two sources of the chosen order join first, and every later source
-// probes the materialized intermediate (a left-deep plan). Intermediates
-// are materialized through the engine's catalog — measured at ingest like
-// any registered relation and charged against the residency budget until
-// the pipeline finishes.
+// probes the previous step's intermediate (a left-deep plan).
+//
+// By default intermediates are streamed: each step's matches are produced
+// morsel-parallel directly into the next step's build input, their bytes
+// reserved transiently against the engine's residency budget and freed as
+// soon as the consumer step has built from them — at most one intermediate
+// is resident at a time, and none is registered (no catalog statistics are
+// built for it). Set Materialize to route intermediates through the
+// catalog instead: registered, measured at ingest like any relation, and
+// charged until the pipeline finishes. Results are bit-identical on both
+// paths; only PipelineResult.PeakIntermediateBytes differs. Either way an
+// intermediate the budget cannot hold fails the pipeline with ErrNoSpace
+// before it is allocated.
 //
 // Unless DeclaredOrder is set, a greedy cost-based orderer picks the
 // cheapest left-deep order from the catalog's ingest-time skew and
@@ -23,13 +32,19 @@ import (
 //	pr, err := eng.JoinPipeline(ctx, apujoin.Pipeline{Sources: []apujoin.Source{
 //		apujoin.Ref("orders"), apujoin.Ref("lineitem"), apujoin.Ref("returns"),
 //	}}, apujoin.WithAuto())
-//	fmt.Println(pr.Final.Matches, pr.Order)
+//	fmt.Println(pr.Final.Matches, pr.Order, pr.PeakIntermediateBytes)
 type Pipeline struct {
 	// Sources are the pipeline's inputs (Ref or Inline), N ≥ 2.
 	Sources []Source
 	// DeclaredOrder skips the cost-based orderer and joins the sources
 	// exactly as declared.
 	DeclaredOrder bool
+	// Materialize forces every intermediate through the catalog (pinned and
+	// charged, with ingest statistics, until the pipeline finishes) instead
+	// of the default streamed hand-off. Results are identical; use it when
+	// a consumer requires catalog-resident intermediates or to compare the
+	// two paths' footprints.
+	Materialize bool
 }
 
 // PipelineResult reports one executed pipeline: the chosen order, every
@@ -55,6 +70,7 @@ func (e *Engine) JoinPipeline(ctx context.Context, p Pipeline, opts ...JoinOptio
 		Opt:           cfg.opt,
 		Auto:          cfg.auto,
 		DeclaredOrder: p.DeclaredOrder,
+		Materialized:  p.Materialize,
 	}
 	for _, src := range p.Sources {
 		spec.Sources = append(spec.Sources, service.PipelineSource{Name: src.name, Rel: src.rel})

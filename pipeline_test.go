@@ -143,6 +143,60 @@ func TestPipelineWorkersInvariance(t *testing.T) {
 	}
 }
 
+// TestPipelineStreamedMatchesMaterialized is the streamed path's acceptance
+// contract: for worker counts 1 and GOMAXPROCS, a pipeline run with the
+// default streamed hand-off is bit-identical — order, every step's Result,
+// Final, TotalNS — to the same pipeline run with Materialize set, while its
+// peak resident intermediate footprint is strictly below the materialized
+// path's. Each run uses a fresh engine so both plan against a cold cache.
+func TestPipelineStreamedMatchesMaterialized(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		prs := make(map[bool]*PipelineResult)
+		for _, materialize := range []bool{false, true} {
+			eng := NewEngine(Workers(workers))
+			pipelineFixture(t, eng)
+			pr, err := eng.JoinPipeline(context.Background(), Pipeline{
+				Sources:     []Source{Ref("orders"), Ref("lineitem"), Ref("returns")},
+				Materialize: materialize,
+			}, append([]JoinOption{WithAuto()}, pipelineTestOpts...)...)
+			eng.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Streamed == materialize {
+				t.Errorf("workers=%d materialize=%v: Streamed=%v", workers, materialize, pr.Streamed)
+			}
+			prs[materialize] = pr
+		}
+		st, mat := prs[false], prs[true]
+		if !reflect.DeepEqual(st.Order, mat.Order) {
+			t.Fatalf("workers=%d: order differs: streamed %v, materialized %v", workers, st.Order, mat.Order)
+		}
+		for i := range st.Steps {
+			if !reflect.DeepEqual(st.Steps[i].Result, mat.Steps[i].Result) {
+				t.Errorf("workers=%d step %d: Result differs between streamed and materialized", workers, i)
+			}
+		}
+		if !reflect.DeepEqual(st.Final, mat.Final) {
+			t.Errorf("workers=%d: Final differs between streamed and materialized", workers)
+		}
+		if st.TotalNS != mat.TotalNS {
+			t.Errorf("workers=%d: TotalNS %.0f (streamed) != %.0f (materialized)", workers, st.TotalNS, mat.TotalNS)
+		}
+		if st.IntermediateTuples != mat.IntermediateTuples || st.IntermediateBytes != mat.IntermediateBytes {
+			t.Errorf("workers=%d: intermediate totals differ: streamed %d/%d, materialized %d/%d", workers,
+				st.IntermediateTuples, st.IntermediateBytes, mat.IntermediateTuples, mat.IntermediateBytes)
+		}
+		if st.PeakIntermediateBytes <= 0 {
+			t.Errorf("workers=%d: streamed peak %d, want > 0", workers, st.PeakIntermediateBytes)
+		}
+		if st.PeakIntermediateBytes >= mat.PeakIntermediateBytes {
+			t.Errorf("workers=%d: streamed peak %d not strictly below materialized peak %d",
+				workers, st.PeakIntermediateBytes, mat.PeakIntermediateBytes)
+		}
+	}
+}
+
 // TestPipelineColdWarmPlanCacheInvariance: an auto pipeline is bit-identical
 // whether its steps plan against a cold or a warm plan cache — the second
 // run hits the cache (observably) and changes nothing else.
@@ -248,14 +302,21 @@ func TestPipelineErrors(t *testing.T) {
 	if _, err := small.Load("s", s); err != nil {
 		t.Fatal(err)
 	}
-	_, err := small.JoinPipeline(ctx, Pipeline{Sources: []Source{Ref("r"), Ref("s"), Inline(u)}}, pipelineTestOpts...)
-	if !errors.Is(err, catalog.ErrNoSpace) {
-		t.Errorf("oversized intermediate: err %v, want catalog.ErrNoSpace", err)
-	}
-	// The failed pipeline released everything it pinned: the residency
-	// budget is back to the two registered relations.
-	if got, want := small.svc.Stats().Catalog.Bytes, r.Bytes()+s.Bytes(); got != want {
-		t.Errorf("catalog bytes after failed pipeline = %d, want %d", got, want)
+	// The budget contract holds on both execution paths: the streamed
+	// reservation and the materialized pre-check fail with the same
+	// ErrNoSpace, and either way the failed pipeline releases everything —
+	// the residency budget is back to the two registered relations.
+	for _, materialize := range []bool{false, true} {
+		_, err := small.JoinPipeline(ctx, Pipeline{
+			Sources:     []Source{Ref("r"), Ref("s"), Inline(u)},
+			Materialize: materialize,
+		}, pipelineTestOpts...)
+		if !errors.Is(err, catalog.ErrNoSpace) {
+			t.Errorf("oversized intermediate (materialize=%v): err %v, want catalog.ErrNoSpace", materialize, err)
+		}
+		if got, want := small.svc.Stats().Catalog.Bytes, r.Bytes()+s.Bytes(); got != want {
+			t.Errorf("catalog bytes after failed pipeline (materialize=%v) = %d, want %d", materialize, got, want)
+		}
 	}
 }
 
