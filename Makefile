@@ -41,7 +41,7 @@ bench:
 bench-json:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > BENCH_parallel.json
-	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
+	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse|BenchmarkShardedScaleout' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
 	( $(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan; \
 	  $(GO) test -run=NONE -bench=BenchmarkPipelineStreaming -benchmem -benchtime=3x . ) | $(BENCHJSON) > BENCH_plan.json
 	@echo "wrote BENCH_parallel.json BENCH_service.json BENCH_plan.json"
@@ -57,7 +57,7 @@ bench-json:
 bench-check:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > /tmp/apujoin-bench-parallel.json
-	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
+	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse|BenchmarkShardedScaleout' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
 	( $(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan; \
 	  $(GO) test -run=NONE -bench=BenchmarkPipelineStreaming -benchmem -benchtime=3x . ) | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
 	$(BENCHJSON) -compare BENCH_parallel.json /tmp/apujoin-bench-parallel.json -tol $(BENCH_TOL)

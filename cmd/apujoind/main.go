@@ -5,6 +5,18 @@
 //
 //	apujoind -addr :8417 -workers 0 -max-concurrent 4 -queue 64
 //
+// With -shards N the relation catalog partitions by key hash across N
+// in-process engine shards behind a stateless router: every join and
+// pipeline fans out to all shards and merges deterministically, and the
+// results — match counts, simulated times, pipeline peak bytes — are
+// bit-identical for any shard count. /v1/stats then reports the aggregate
+// catalog plus per-shard gauges under "shard_catalogs".
+//
+// Every response uses one JSON envelope: successes carry the payload under
+// "result" (object payloads keep a deprecated top-level mirror of their
+// fields for one release), failures carry {"error": {"code", "message"}}
+// with a deprecated top-level "status" mirror.
+//
 // Endpoints:
 //
 //	POST   /v1/join        submit a join; {"wait":true} blocks for the result
@@ -54,6 +66,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes")
 	planCache := flag.Int("plan-cache", 0, "plan cache capacity for algo=auto queries (0 = default)")
 	catalogBytes := flag.Int64("catalog-bytes", 0, "zero-copy budget for registered relations (0 = 512 MB)")
+	shards := flag.Int("shards", 0, "partition the relation catalog across this many engine shards (0 = unsharded; results are identical for any value)")
+	shardBudget := flag.Int64("shard-budget", 0, "zero-copy budget per shard catalog (0 = split -catalog-bytes evenly)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -63,6 +77,12 @@ func main() {
 	// silently coerced; reject it rather than surprise the operator.
 	if *queue < 1 || *keep < 1 || *maxTuples < 1 || *maxBody < 1 {
 		log.Fatalf("apujoind: -queue, -keep, -max-tuples and -max-body must be >= 1")
+	}
+	if *shards < 0 {
+		log.Fatalf("apujoind: -shards %d is negative; use 0 for the unsharded catalog", *shards)
+	}
+	if *shardBudget != 0 && *shards == 0 {
+		log.Fatalf("apujoind: -shard-budget needs -shards")
 	}
 	if *maxConc == 0 {
 		w := *workers
@@ -75,13 +95,15 @@ func main() {
 		}
 	}
 
-	svc := service.New(service.Options{
+	svc := service.New(service.Config{
 		Workers:       *workers,
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *queue,
 		KeepResults:   *keep,
 		PlanCache:     *planCache,
 		CatalogBytes:  *catalogBytes,
+		Shards:        *shards,
+		ShardBudget:   *shardBudget,
 	})
 
 	handler := newServer(svc, serverConfig{maxTuples: *maxTuples, maxBody: *maxBody})
@@ -97,6 +119,9 @@ func main() {
 		_ = srv.Shutdown(sctx)
 	}()
 
+	if n := svc.Shards(); n > 0 {
+		log.Printf("apujoind: sharded catalog: %d shards (per-shard gauges under /v1/stats shard_catalogs)", n)
+	}
 	log.Printf("apujoind: listening on %s (%d workers, %d concurrent queries)",
 		*addr, svc.Stats().Workers, *maxConc)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

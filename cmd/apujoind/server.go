@@ -414,10 +414,84 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits the structured error envelope every failure path uses:
-// {"error": "...", "status": N}.
+// writeResult emits the unified success envelope every 2xx response uses:
+//
+//	{"result": <payload>, ...}
+//
+// For object payloads, the payload's top-level fields are additionally
+// mirrored beside "result" for one release, so clients reading the
+// pre-envelope shapes keep working while they migrate to ".result".
+//
+// Deprecated mirror: the top-level copies of the payload fields will be
+// removed in the next release; read everything under "result". Array
+// payloads (GET /v1/relations, GET /v1/queries) have no top-level fields
+// to mirror — those endpoints now return {"result": [...]} only.
+func writeResult(w http.ResponseWriter, status int, v any) {
+	body := map[string]any{"result": v}
+	if raw, err := json.Marshal(v); err == nil {
+		var mirror map[string]json.RawMessage
+		if json.Unmarshal(raw, &mirror) == nil {
+			for k, val := range mirror {
+				if k != "result" && k != "error" {
+					body[k] = val
+				}
+			}
+		}
+	}
+	writeJSON(w, status, body)
+}
+
+// writeError emits the unified error envelope every failure path uses:
+//
+//	{"error": {"code": "...", "message": "..."}, "status": N}
+//
+// "code" is a stable machine-readable identifier (bad_request, not_found,
+// conflict, no_space, queue_full, closed, too_large, unavailable,
+// internal); "message" is human-readable. Before the envelope
+// unification, "error" was the bare message string — clients still
+// matching on it should switch to ".error.code"/".error.message".
+//
+// Deprecated mirror: the top-level "status" duplicates the HTTP status
+// code one release behind; it will be removed in the next release.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+	writeJSON(w, status, map[string]any{
+		"error":  map[string]any{"code": errorCode(status, err), "message": err.Error()},
+		"status": status,
+	})
+}
+
+// errorCode derives the envelope's stable error code: sentinel errors
+// first (they carry more intent than the status), the status class
+// otherwise.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, service.ErrClosed):
+		return "closed"
+	case errors.Is(err, catalog.ErrNotFound):
+		return "not_found"
+	case errors.Is(err, catalog.ErrExists):
+		return "conflict"
+	case errors.Is(err, catalog.ErrNoSpace):
+		return "no_space"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInsufficientStorage:
+		return "no_space"
+	default:
+		return "internal"
+	}
 }
 
 // readJSON decodes one bounded JSON request body into dst with unknown
@@ -505,14 +579,14 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 			return
 		}
 		if !req.Wait {
-			writeJSON(w, http.StatusAccepted, response(q))
+			writeResult(w, http.StatusAccepted, response(q))
 			return
 		}
 		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
-			writeJSON(w, http.StatusInternalServerError, response(q))
+			writeResult(w, http.StatusInternalServerError, response(q))
 			return
 		}
-		writeJSON(w, http.StatusOK, response(q))
+		writeResult(w, http.StatusOK, response(q))
 	})
 
 	mux.HandleFunc("POST /v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
@@ -535,14 +609,14 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 			return
 		}
 		if !req.Wait {
-			writeJSON(w, http.StatusAccepted, response(q))
+			writeResult(w, http.StatusAccepted, response(q))
 			return
 		}
 		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
-			writeJSON(w, http.StatusInternalServerError, response(q))
+			writeResult(w, http.StatusInternalServerError, response(q))
 			return
 		}
-		writeJSON(w, http.StatusOK, response(q))
+		writeResult(w, http.StatusOK, response(q))
 	})
 
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -591,7 +665,7 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		for i, q := range qs {
 			resp.Queries[i] = response(q)
 		}
-		writeJSON(w, status, resp)
+		writeResult(w, status, resp)
 	})
 
 	mux.HandleFunc("POST /v1/relations", func(w http.ResponseWriter, r *http.Request) {
@@ -599,16 +673,16 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		if !readJSON(w, r, cfg.maxBody, &req) {
 			return
 		}
-		info, err := registerRelation(svc.Catalog(), req, cfg.maxTuples)
+		info, err := registerRelation(svc, req, cfg.maxTuples)
 		if err != nil {
 			writeError(w, relationStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, info)
+		writeResult(w, http.StatusCreated, info)
 	})
 
 	mux.HandleFunc("GET /v1/relations", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Catalog().List())
+		writeResult(w, http.StatusOK, svc.Relations())
 	})
 
 	mux.HandleFunc("DELETE /v1/relations", func(w http.ResponseWriter, r *http.Request) {
@@ -625,14 +699,14 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 				fmt.Errorf("relation names starting with %q are reserved for pipeline intermediates", service.ReservedPrefix))
 			return
 		}
-		info, err := svc.Catalog().Drop(name)
+		info, err := svc.DropRelation(name)
 		if err != nil {
 			writeError(w, relationStatus(err), err)
 			return
 		}
 		// Pins report how many in-flight queries still hold the data; the
 		// name is unbound either way.
-		writeJSON(w, http.StatusOK, info)
+		writeResult(w, http.StatusOK, info)
 	})
 
 	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -640,7 +714,7 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		if !ok {
 			return
 		}
-		writeJSON(w, http.StatusOK, response(q))
+		writeResult(w, http.StatusOK, response(q))
 	})
 
 	mux.HandleFunc("DELETE /v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -652,19 +726,19 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 		// a running one aborts at its next step boundary. The snapshot
 		// reflects whatever state the query has reached by now.
 		q.Cancel()
-		writeJSON(w, http.StatusAccepted, response(q))
+		writeResult(w, http.StatusAccepted, response(q))
 	})
 
 	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Queries())
+		writeResult(w, http.StatusOK, svc.Queries())
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		writeResult(w, http.StatusOK, svc.Stats())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeResult(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
 	return mux
@@ -686,10 +760,11 @@ func lookupQuery(w http.ResponseWriter, r *http.Request, svc *service.Service) (
 	return q, true
 }
 
-// registerRelation dispatches a relationRequest to the catalog: bulk
-// upload when keys are present, probe generation when probe_of is set,
-// build generation otherwise.
-func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) (catalog.Info, error) {
+// registerRelation dispatches a relationRequest to the service's relation
+// surface (the sharded router or the single catalog): bulk upload when
+// keys are present, probe generation when probe_of is set, build
+// generation otherwise.
+func registerRelation(svc *service.Service, req relationRequest, maxTuples int) (catalog.Info, error) {
 	if req.Name == "" {
 		return catalog.Info{}, errors.New("missing relation name")
 	}
@@ -717,7 +792,7 @@ func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) 
 				rids[i] = int32(i)
 			}
 		}
-		return cat.Load(req.Name, rel.Relation{RIDs: rids, Keys: req.Keys})
+		return svc.LoadRelation(req.Name, rel.Relation{RIDs: rids, Keys: req.Keys})
 	}
 	if req.RIDs != nil {
 		return catalog.Info{}, errors.New("rids without keys")
@@ -752,12 +827,12 @@ func registerRelation(cat *catalog.Catalog, req relationRequest, maxTuples int) 
 		if sel < 0 || sel > 1 {
 			return catalog.Info{}, fmt.Errorf("selectivity %v out of [0,1]", sel)
 		}
-		return cat.RegisterProbe(req.Name, req.ProbeOf, g, sel)
+		return svc.RegisterProbe(req.Name, req.ProbeOf, g, sel)
 	}
 	if req.Sel != nil {
 		return catalog.Info{}, errors.New("sel without probe_of")
 	}
-	return cat.RegisterGen(req.Name, g)
+	return svc.RegisterGen(req.Name, g)
 }
 
 // relationStatus maps a catalog error to its HTTP status.

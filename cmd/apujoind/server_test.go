@@ -50,10 +50,19 @@ func do(t *testing.T, method, url, body string) (int, map[string]any) {
 	}
 	m, _ := decoded.(map[string]any)
 	if m == nil {
-		// Array responses (listings) are wrapped for uniform access.
+		// Every response is an envelope object; a non-object body would be
+		// a regression, surfaced to the caller under "list".
 		m = map[string]any{"list": decoded}
 	}
 	return resp.StatusCode, m
+}
+
+// errMsg extracts the unified error envelope's message; empty when the
+// response carries no {"error": {"code", "message"}} object.
+func errMsg(resp map[string]any) string {
+	e, _ := resp["error"].(map[string]any)
+	s, _ := e["message"].(string)
+	return s
 }
 
 // TestRoutesTable drives every /v1 route through its happy path and the
@@ -153,8 +162,23 @@ func TestRoutesTable(t *testing.T) {
 				t.Fatalf("%s %s: status %d, want %d (resp %v)", tc.method, tc.path, st, tc.want, resp)
 			}
 			if st >= 400 {
-				if _, ok := resp["error"]; !ok {
-					t.Errorf("error status %d without structured error envelope: %v", st, resp)
+				eobj, ok := resp["error"].(map[string]any)
+				if !ok {
+					t.Fatalf("error status %d without the {\"error\":{\"code\",\"message\"}} envelope: %v", st, resp)
+				}
+				if code, _ := eobj["code"].(string); code == "" {
+					t.Errorf("error envelope without code: %v", resp)
+				}
+				if errMsg(resp) == "" {
+					t.Errorf("error envelope without message: %v", resp)
+				}
+				// The deprecated top-level status mirror holds one release.
+				if resp["status"].(float64) != float64(st) {
+					t.Errorf("legacy status mirror %v != HTTP status %d", resp["status"], st)
+				}
+			} else {
+				if _, ok := resp["result"]; !ok {
+					t.Errorf("success status %d without the {\"result\": ...} envelope: %v", st, resp)
 				}
 			}
 		})
@@ -252,7 +276,7 @@ func TestBatchSubmit(t *testing.T) {
 	// Batch parse errors name the offending element.
 	st, resp = do(t, "POST", ts.URL+"/v1/batch",
 		fmt.Sprintf(`{"queries":[%s,{"algo":"bogus"}]}`, q))
-	if st != 400 || !strings.Contains(resp["error"].(string), "query 2 of 2") {
+	if st != 400 || !strings.Contains(errMsg(resp), "query 2 of 2") {
 		t.Errorf("bad batch element: status %d, resp %v", st, resp)
 	}
 	// Empty batch.
@@ -263,7 +287,7 @@ func TestBatchSubmit(t *testing.T) {
 	// not silently ignored.
 	st, resp = do(t, "POST", ts.URL+"/v1/batch",
 		fmt.Sprintf(`{"queries":[{"algo":"shj","scheme":"dd","r_name":"r","s_name":"s","wait":true},%s]}`, q))
-	if st != 400 || !strings.Contains(resp["error"].(string), "batch-level wait") {
+	if st != 400 || !strings.Contains(errMsg(resp), "batch-level wait") {
 		t.Errorf("per-query wait in batch: status %d, resp %v", st, resp)
 	}
 }

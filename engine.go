@@ -2,6 +2,7 @@ package apujoin
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"apujoin/internal/catalog"
@@ -42,6 +43,8 @@ type engineConfig struct {
 	workers      int
 	planCache    int
 	catalogBytes int64
+	shards       int
+	shardBudget  int64
 }
 
 // EngineOption configures NewEngine.
@@ -57,9 +60,31 @@ func Workers(n int) EngineOption { return func(c *engineConfig) { c.workers = n 
 func PlanCacheSize(n int) EngineOption { return func(c *engineConfig) { c.planCache = n } }
 
 // CatalogCapacity bounds the zero-copy bytes the engine's registered
-// relations may occupy; <= 0 selects the A8-3870K's 512 MB.
+// relations may occupy; <= 0 selects the A8-3870K's 512 MB. On a sharded
+// engine (WithShards) the capacity splits evenly across the per-shard
+// catalogs unless WithShardBudget bounds each shard directly.
 func CatalogCapacity(bytes int64) EngineOption {
 	return func(c *engineConfig) { c.catalogBytes = bytes }
+}
+
+// WithShards partitions the engine's relation catalog by key hash across n
+// in-process engine shards behind a stateless router: relations register
+// once and split over a fixed grid of hash partitions, each shard owns a
+// contiguous partition range with its own residency budget, and every join
+// or pipeline fans out to all partitions and merges deterministically.
+//
+// The shard count carries an invariance contract: match counts, every
+// simulated time, and the pipeline peak-bytes accounting are bit-identical
+// for any n — sharding moves data between catalogs and budgets, never a
+// computed number. n <= 0 keeps the unsharded engine; values above the
+// fixed partition count are clamped to it.
+func WithShards(n int) EngineOption { return func(c *engineConfig) { c.shards = n } }
+
+// WithShardBudget bounds each shard catalog's zero-copy bytes on a sharded
+// engine; <= 0 (the default) splits CatalogCapacity — or its 512 MB
+// default — evenly across the shards. Without WithShards it has no effect.
+func WithShardBudget(bytes int64) EngineOption {
+	return func(c *engineConfig) { c.shardBudget = bytes }
 }
 
 // NewEngine starts an engine: the resident pool spins up immediately and
@@ -71,10 +96,12 @@ func NewEngine(opts ...EngineOption) *Engine {
 	}
 	// Admission bounds (MaxConcurrent/MaxQueue) are a service-layer
 	// concern; Engine.Join is synchronous and bounded by its callers.
-	return &Engine{svc: service.New(service.Options{
+	return &Engine{svc: service.New(service.Config{
 		Workers:      cfg.workers,
 		PlanCache:    cfg.planCache,
 		CatalogBytes: cfg.catalogBytes,
+		Shards:       cfg.shards,
+		ShardBudget:  cfg.shardBudget,
 	})}
 }
 
@@ -104,39 +131,48 @@ func Inline(r Relation) Source { return Source{rel: r} }
 type RelationInfo = catalog.Info
 
 // Register generates and registers a build relation from a spec (keys are
-// a permutation of [1, KeyRange] — the primary-key side of a join).
+// a permutation of [1, KeyRange] — the primary-key side of a join). On a
+// sharded engine the relation is generated once and split across the
+// per-shard catalogs by key hash.
 func (e *Engine) Register(name string, g Gen) (RelationInfo, error) {
-	return e.svc.Catalog().RegisterGen(name, g)
+	return e.svc.RegisterGen(name, g)
 }
 
 // RegisterProbe generates and registers a probe relation against the
 // registered build relation of: the given fraction of its tuples carry
 // keys present in the build side, with g's skew applied — exactly
 // g.Probe(build, selectivity), so the result is bit-identical to inline
-// generation from the same spec.
+// generation from the same spec. A sharded engine regenerates the build
+// side from its stored spec first (probes anchored on bulk-loaded
+// relations are rejected there — a loaded relation has no spec to
+// regenerate from in original tuple order).
 func (e *Engine) RegisterProbe(name, of string, g Gen, selectivity float64) (RelationInfo, error) {
-	return e.svc.Catalog().RegisterProbe(name, of, g, selectivity)
+	return e.svc.RegisterProbe(name, of, g, selectivity)
 }
 
-// Load registers an existing relation (bulk load). The columns are
-// retained, not copied; the caller must not mutate them afterwards.
+// Load registers an existing relation (bulk load). On the unsharded engine
+// the columns are retained, not copied, and the caller must not mutate
+// them afterwards; a sharded engine copies them into its partition split.
 func (e *Engine) Load(name string, r Relation) (RelationInfo, error) {
-	return e.svc.Catalog().Load(name, r)
+	return e.svc.LoadRelation(name, r)
 }
 
 // Drop unregisters a relation: the name unbinds immediately while joins
 // already referencing the entry keep their data; the resident bytes free
 // when the last one finishes.
 func (e *Engine) Drop(name string) error {
-	_, err := e.svc.Catalog().Drop(name)
+	_, err := e.svc.DropRelation(name)
 	return err
 }
 
 // Relations lists the registered relations, sorted by name.
-func (e *Engine) Relations() []RelationInfo { return e.svc.Catalog().List() }
+func (e *Engine) Relations() []RelationInfo { return e.svc.Relations() }
 
 // Relation returns one registered relation's info.
-func (e *Engine) Relation(name string) (RelationInfo, bool) { return e.svc.Catalog().Get(name) }
+func (e *Engine) Relation(name string) (RelationInfo, bool) { return e.svc.RelationInfo(name) }
+
+// Shards returns the configured shard count (0 for an unsharded engine).
+func (e *Engine) Shards() int { return e.svc.Shards() }
 
 // resolve pins catalog references and returns the concrete relations plus
 // a release func and, for named pairs, the ingest-time workload statistics.
@@ -193,6 +229,17 @@ func (e *Engine) resolve(r, s Source, auto bool) (rr, sr Relation, release func(
 // statistics without re-measuring the data.
 func (e *Engine) Join(ctx context.Context, r, s Source, opts ...JoinOption) (*Result, error) {
 	cfg := applyJoinOptions(opts)
+	if e.svc.Sharded() {
+		// The sharded path resolves through the router: named sides pin
+		// every partition entry, inline sides split on the spot, and the
+		// join fans out to all fixed hash partitions (per-partition planning
+		// under WithAuto) before the deterministic merge.
+		opt := cfg.opt
+		e.injectPool(&opt)
+		return e.svc.RunJoin(ctx, service.JoinSpec{
+			R: r.rel, S: s.rel, RName: r.name, SName: s.name, Opt: opt, Auto: cfg.auto,
+		})
+	}
 	rr, sr, release, wl, err := e.resolve(r, s, cfg.auto)
 	if err != nil {
 		return nil, err
@@ -216,6 +263,13 @@ func (e *Engine) Join(ctx context.Context, r, s Source, opts ...JoinOption) (*Re
 // scheme into the per-pair sub-joins.
 func (e *Engine) JoinExternal(ctx context.Context, r, s Source, opts ...JoinOption) (*ExternalResult, error) {
 	cfg := applyJoinOptions(opts)
+	if e.svc.Sharded() && (r.name != "" || s.name != "") {
+		// External joins chunk whole relations through the zero-copy buffer;
+		// a sharded catalog holds only partition slices, so Ref sources
+		// cannot resolve to the contiguous relations RunExternal needs.
+		// Inline sources work on any engine.
+		return nil, fmt.Errorf("apujoin: JoinExternal does not accept catalog references on a sharded engine (resolve the data yourself and pass it inline)")
+	}
 	rr, sr, release, wl, err := e.resolve(r, s, cfg.auto)
 	if err != nil {
 		return nil, err

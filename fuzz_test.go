@@ -147,6 +147,37 @@ func FuzzJoinAgainstOracle(f *testing.F) {
 			}
 		}
 
+		// A sharded engine — shard count derived from the input so the
+		// fuzzer sweeps it alongside size, skew and selectivity — finds
+		// exactly the oracle's counts for the same joins and pipelines,
+		// and its pipeline Final is bit-identical to the unsharded
+		// ordered run's match count (the shard-count-invariance contract
+		// exercised on adversarial inputs, including relations tiny
+		// enough to leave hash partitions empty).
+		shardN := 1 + int(nr16)%4
+		sharded := NewEngine(Workers(2), WithShards(shardN))
+		defer sharded.Close()
+		for i, rl := range rels {
+			if _, err := sharded.Load(fmt.Sprintf("rel%d", i), rl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sres, err := sharded.Join(context.Background(), Ref("rel0"), Ref("rel1"), opts...)
+		if err != nil {
+			t.Fatalf("sharded join (%d shards): %v", shardN, err)
+		}
+		if sres.Matches != want {
+			t.Errorf("sharded join (%d shards): matches %d, oracle %d (seed=%d)", shardN, sres.Matches, want, seed)
+		}
+		spipe, err := sharded.JoinPipeline(context.Background(), Pipeline{Sources: refs}, opts...)
+		if err != nil {
+			t.Fatalf("sharded pipeline (%d shards): %v", shardN, err)
+		}
+		if spipe.Final.Matches != wantPipe {
+			t.Errorf("sharded pipeline (%d shards): matches %d, oracle %d (seed=%d nrel=%d)",
+				shardN, spipe.Final.Matches, wantPipe, seed, nrel)
+		}
+
 		// Budget invariant on an engine whose capacity barely exceeds the
 		// sources: if the materialized path fits, the streamed path (at
 		// most one intermediate resident) must too, with equal results;

@@ -199,9 +199,13 @@ type Catalog struct {
 	peakBytes                   int64
 }
 
+// DefaultCapacity is the zero-copy capacity New selects when none is
+// configured: the A8-3870K's 512 MB device-addressable region. Exported so
+// the sharded service can split the same default across per-shard budgets.
+const DefaultCapacity int64 = 512 << 20
+
 // New returns an empty catalog whose resident relations may occupy up to
-// capacityBytes of zero-copy space; capacity <= 0 selects the A8-3870K's
-// 512 MB.
+// capacityBytes of zero-copy space; capacity <= 0 selects DefaultCapacity.
 func New(capacityBytes int64) *Catalog {
 	zc := mem.NewZeroCopy()
 	if capacityBytes > 0 {
@@ -309,6 +313,12 @@ func (c *Catalog) insert(e *Entry) (Info, error) {
 	}
 	return e.infoLocked(), nil
 }
+
+// HeavyShareOf returns the heaviest key's share of a key sample — the raw
+// number behind the skew bucket, reported in listings. Exported so the
+// sharded router computes the identical ingest statistic for relations it
+// splits across shard catalogs.
+func HeavyShareOf(sample []int32) float64 { return heavyShare(sample) }
 
 // heavyShare returns the heaviest key's share of the sample — the raw
 // number behind the skew bucket, reported in listings.
@@ -487,10 +497,7 @@ func (c *Catalog) Workload(r, s *Entry) plan.Workload {
 	}
 	c.mu.Unlock()
 
-	w := plan.Workload{
-		SkewBucket: s.skewBucket,
-		SelBucket:  plan.SelBucketOf(s.sample, r.index.Contains),
-	}
+	w := plan.PairWorkload(s.sample, s.skewBucket, r.index.Contains)
 
 	c.mu.Lock()
 	// Only memoize while both names still resolve to these entries: a

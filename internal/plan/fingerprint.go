@@ -205,3 +205,18 @@ func OfWorkload(r, s rel.Relation, opt core.Options, w Workload) Fingerprint {
 	fp.SkewBucket, fp.SelBucket = w.SkewBucket, w.SelBucket
 	return fp
 }
+
+// PairWorkload folds stored ingest-time statistics of a (build, probe)
+// pair into the planner's workload buckets without touching either
+// relation: the probe's stored skew bucket, plus the selectivity bucket of
+// its stored key sample against the build side's membership test. The
+// relation catalog and the sharded router both fingerprint through it, so
+// their buckets agree with MeasureWorkload on the same data by
+// construction — and with each other, which keeps plan-cache slots shared
+// between inline, catalog-resident and sharded queries of the same shape.
+func PairWorkload(probeSample []int32, probeSkewBucket int, buildContains func(int32) bool) Workload {
+	return Workload{
+		SkewBucket: probeSkewBucket,
+		SelBucket:  SelBucketOf(probeSample, buildContains),
+	}
+}

@@ -2,10 +2,12 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"apujoin/internal/core"
 	"apujoin/internal/rel"
+	"apujoin/internal/shard"
 )
 
 // BenchmarkServiceThroughput measures end-to-end query throughput of the
@@ -117,4 +119,51 @@ func BenchmarkCatalogReuse(b *testing.B) {
 			return JoinSpec{R: r, S: s, Opt: opt, Auto: true}
 		})
 	})
+}
+
+// BenchmarkShardedScaleout measures the stateless router's host-side cost
+// against its parallelism: the identical catalog join on one shard and on
+// the maximum (one shard per hash partition). ns/op is host wall-clock per
+// fan-out join; sim_ns/op is the deterministic simulated time, which the
+// shard-count-invariance contract requires to be bit-identical between the
+// two variants — the regression gate diffs both. Recorded in
+// BENCH_service.json by `make bench-json`.
+func BenchmarkShardedScaleout(b *testing.B) {
+	const tuples = 1 << 17
+	rg := rel.Gen{N: tuples, Seed: 1}
+	sg := rel.Gen{N: tuples, Seed: 2}
+	opt := core.Options{Algo: core.PHJ, Scheme: core.PL, Delta: 0.1, PilotItems: 1 << 13}
+
+	run := func(b *testing.B, shards int) {
+		b.Helper()
+		svc := New(Config{Shards: shards})
+		defer svc.Close()
+		if _, err := svc.RegisterGen("r", rg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.RegisterProbe("s", "r", sg, 1.0); err != nil {
+			b.Fatal(err)
+		}
+		spec := JoinSpec{RName: "r", SName: "s", Opt: opt}
+		ref, err := svc.RunJoin(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(tuples) * 8 * 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := svc.RunJoin(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Matches != ref.Matches || res.TotalNS != ref.TotalNS {
+				b.Fatalf("results drifted: matches %d (want %d), simNS %.0f (want %.0f)",
+					res.Matches, ref.Matches, res.TotalNS, ref.TotalNS)
+			}
+		}
+		b.ReportMetric(ref.TotalNS, "sim_ns/op")
+	}
+
+	b.Run("shards=1", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("shards=%d", shard.Partitions), func(b *testing.B) { run(b, shard.Partitions) })
 }

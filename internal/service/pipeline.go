@@ -180,6 +180,9 @@ type pipeJob struct {
 // resolvedSpec carries the pins (released by the query's terminal state,
 // or by the caller on the synchronous path) and the pipeline job.
 func (s *Service) resolvePipeline(spec PipelineSpec) (resolvedSpec, error) {
+	if s.router != nil {
+		return s.resolveShardedPipeline(spec)
+	}
 	rs := resolvedSpec{opt: spec.Opt, auto: spec.Auto}
 	if len(spec.Sources) < 2 {
 		return rs, fmt.Errorf("%w (got %d)", ErrPipelineTooShort, len(spec.Sources))
@@ -232,6 +235,9 @@ func (s *Service) RunPipeline(ctx context.Context, spec PipelineSpec) (*Pipeline
 		return nil, err
 	}
 	defer rs.release()
+	if rs.shardpipe != nil {
+		return s.execShardedPipeline(ctx, rs.shardpipe, rs.opt, rs.auto)
+	}
 	return s.execPipeline(ctx, rs.pipe, rs.opt, rs.auto)
 }
 

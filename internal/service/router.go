@@ -1,0 +1,814 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/core"
+	"apujoin/internal/plan"
+	"apujoin/internal/rel"
+	"apujoin/internal/sched"
+	"apujoin/internal/shard"
+)
+
+// router is the stateless-routing tier of a sharded service: relations
+// register once and split over the fixed shard.Partitions hash grid into
+// per-shard catalogs; joins and pipelines fan out to every partition and
+// merge in partition order. The router itself holds only lightweight
+// per-relation metadata (specs, ingest-time statistics, partition
+// placement is pure arithmetic via shard.Owner) — all tuple data lives in
+// the shard catalogs, each with its own residency budget.
+//
+// The shard count decides placement and budget boundaries and nothing
+// else: every computed number is a function of the fixed partition grid,
+// which is why results are bit-identical for any shard count.
+type router struct {
+	shards int
+	// catalogs hold the partitioned relations, one catalog per shard with
+	// a per-shard zero-copy budget. Streamed pipeline intermediates
+	// reserve transient bytes against the owning partition's shard
+	// catalog.
+	catalogs []*catalog.Catalog
+	// planners are per fixed hash partition — NOT per shard — so each
+	// partition's plan cache evolves identically for any shard count.
+	planners [shard.Partitions]*plan.Planner
+
+	mu        sync.Mutex
+	rels      map[string]*shardedRel
+	workloads map[routerPairKey]plan.Workload
+
+	registered, dropped, reuses int64
+}
+
+// shardedRel is the router's record of one registered relation: the
+// generation provenance (so probe relations can regenerate their build
+// side in original tuple order), and the full-relation ingest statistics
+// the planner fingerprints and the pipeline orderer consume. The tuple
+// data itself lives as per-partition entries in the shard catalogs, under
+// partName(name, p).
+type shardedRel struct {
+	name    string
+	source  catalog.Source
+	created time.Time
+
+	gen     rel.Gen
+	probeOf string
+	sel     float64
+
+	tuples int
+	// sample, index, skewBucket and heavyShare are measured on the FULL
+	// relation at ingest — identical to what the unsharded catalog stores —
+	// so sharded pair workloads land in the same plan-cache buckets as
+	// unsharded ones. The index costs 4 bytes/tuple at the router, the same
+	// overhead the unsharded catalog's ingest index carries.
+	sample     []int32
+	index      rel.KeyIndex
+	skewBucket int
+	heavyShare float64
+
+	joins int64
+}
+
+// routerPairKey identifies a memoized (build, probe) pair workload.
+type routerPairKey struct{ r, s string }
+
+// partName is the shard-catalog entry name of one partition of a
+// relation. Shard catalogs are written only by the router, so the suffix
+// cannot collide with user registrations.
+func partName(name string, p int) string {
+	return fmt.Sprintf("%s/p%d", name, p)
+}
+
+// newRouter builds the sharded tier from a service Config: Shards shard
+// catalogs (budget ShardBudget each, defaulting to an even split of
+// CatalogBytes), and one planner per fixed hash partition.
+func newRouter(cfg Config) *router {
+	shards := shard.Clamp(cfg.Shards)
+	budget := cfg.ShardBudget
+	if budget <= 0 {
+		total := cfg.CatalogBytes
+		if total <= 0 {
+			total = catalog.DefaultCapacity
+		}
+		budget = total / int64(shards)
+	}
+	t := &router{
+		shards:    shards,
+		catalogs:  make([]*catalog.Catalog, shards),
+		rels:      make(map[string]*shardedRel),
+		workloads: make(map[routerPairKey]plan.Workload),
+	}
+	for i := range t.catalogs {
+		t.catalogs[i] = catalog.New(budget)
+	}
+	for p := range t.planners {
+		t.planners[p] = plan.New(cfg.PlanCache)
+	}
+	return t
+}
+
+// catalogOf returns the shard catalog owning partition p.
+func (t *router) catalogOf(p int) *catalog.Catalog {
+	return t.catalogs[shard.Owner(p, t.shards)]
+}
+
+// registerGen generates and registers a build relation from a spec.
+func (t *router) registerGen(name string, g rel.Gen) (catalog.Info, error) {
+	if err := t.precheck(name, g.N); err != nil {
+		return catalog.Info{}, err
+	}
+	sr := &shardedRel{name: name, source: catalog.Generated, gen: g}
+	return t.register(sr, g.Build())
+}
+
+// registerProbe generates and registers a probe relation against the
+// registered build relation of. The build side is regenerated from its
+// stored spec in original tuple order, so the probe is bit-identical to
+// g.Probe on the unsharded catalog's resident build relation.
+func (t *router) registerProbe(name, of string, g rel.Gen, selectivity float64) (catalog.Info, error) {
+	if err := t.precheck(name, g.N); err != nil {
+		return catalog.Info{}, err
+	}
+	if selectivity < 0 || selectivity > 1 {
+		return catalog.Info{}, fmt.Errorf("catalog: selectivity %v out of [0,1]", selectivity)
+	}
+	base, err := t.fullRelation(of)
+	if err != nil {
+		return catalog.Info{}, fmt.Errorf("catalog: probe_of %q: %w", of, err)
+	}
+	sr := &shardedRel{name: name, source: catalog.Probe, gen: g, probeOf: of, sel: selectivity}
+	return t.register(sr, g.Probe(base, selectivity))
+}
+
+// load registers an existing relation (bulk load). The split copies the
+// columns into per-partition relations; unlike the unsharded catalog the
+// caller's slices are not retained.
+func (t *router) load(name string, r rel.Relation) (catalog.Info, error) {
+	if err := t.precheck(name, r.Len()); err != nil {
+		return catalog.Info{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return catalog.Info{}, fmt.Errorf("catalog: %w", err)
+	}
+	sr := &shardedRel{name: name, source: catalog.Loaded}
+	return t.register(sr, r)
+}
+
+// precheck fails fast on an obviously invalid registration before any
+// generation work; register re-checks the name under the lock.
+func (t *router) precheck(name string, n int) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty relation name")
+	}
+	if n < 0 {
+		return fmt.Errorf("catalog: negative relation size %d", n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rels[name]; ok {
+		return fmt.Errorf("%w: %q", catalog.ErrExists, name)
+	}
+	return nil
+}
+
+// fullRelation rebuilds a registered relation in its original tuple order
+// from its stored generation chain. Probe generation indexes the build
+// side by original position, which the partition split does not preserve —
+// so the router regenerates instead of reassembling. Bulk-loaded
+// relations have no spec to regenerate from and cannot anchor a probe
+// registration on a sharded service.
+func (t *router) fullRelation(name string) (rel.Relation, error) {
+	type link struct {
+		gen rel.Gen
+		sel float64
+	}
+	var chain []link
+	t.mu.Lock()
+	cur, ok := t.rels[name]
+	for {
+		if !ok {
+			t.mu.Unlock()
+			return rel.Relation{}, fmt.Errorf("%w: %q", catalog.ErrNotFound, name)
+		}
+		chain = append(chain, link{gen: cur.gen, sel: cur.sel})
+		if cur.source == catalog.Generated {
+			break
+		}
+		if cur.source != catalog.Probe {
+			n := cur.name
+			t.mu.Unlock()
+			return rel.Relation{}, fmt.Errorf("catalog: %q was bulk-loaded; a sharded service regenerates relations from their specs and cannot reassemble a loaded relation in original order", n)
+		}
+		cur, ok = t.rels[cur.probeOf]
+	}
+	t.mu.Unlock()
+	// Rebuild from the generated base down the probe chain, outside the
+	// lock (generation is the expensive part).
+	r := chain[len(chain)-1].gen.Build()
+	for i := len(chain) - 2; i >= 0; i-- {
+		r = chain[i].gen.Probe(r, chain[i].sel)
+	}
+	return r, nil
+}
+
+// register measures the full-relation ingest statistics, splits the
+// relation over the fixed partition grid, and loads each partition into
+// its owning shard catalog. Loading is all-or-nothing: a shard whose
+// budget cannot hold its partitions rolls the others back and the
+// registration fails with the catalog's ErrNoSpace.
+func (t *router) register(sr *shardedRel, full rel.Relation) (catalog.Info, error) {
+	sr.tuples = full.Len()
+	sr.sample = full.KeySample(plan.WorkloadSample)
+	sr.index = full.Index()
+	sr.skewBucket = plan.SkewBucketOf(sr.sample)
+	sr.heavyShare = catalog.HeavyShareOf(sr.sample)
+	parts := shard.Split(full)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rels[sr.name]; ok {
+		return catalog.Info{}, fmt.Errorf("%w: %q", catalog.ErrExists, sr.name)
+	}
+	for p := 0; p < shard.Partitions; p++ {
+		if _, err := t.catalogOf(p).Load(partName(sr.name, p), parts[p]); err != nil {
+			for q := 0; q < p; q++ {
+				t.catalogOf(q).Drop(partName(sr.name, q))
+			}
+			return catalog.Info{}, fmt.Errorf("shard %d: %w", shard.Owner(p, t.shards), err)
+		}
+	}
+	sr.created = time.Now()
+	t.rels[sr.name] = sr
+	t.registered++
+	return t.infoLocked(sr), nil
+}
+
+// drop unregisters a relation: the name unbinds immediately and every
+// partition entry is dropped from its shard catalog — in-flight queries
+// keep their partition pins, and each shard's bytes free when its last
+// pin drains.
+func (t *router) drop(name string) (catalog.Info, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sr, ok := t.rels[name]
+	if !ok {
+		return catalog.Info{}, fmt.Errorf("%w: %q", catalog.ErrNotFound, name)
+	}
+	info := t.infoLocked(sr)
+	delete(t.rels, name)
+	for k := range t.workloads {
+		if k.r == name || k.s == name {
+			delete(t.workloads, k)
+		}
+	}
+	for p := 0; p < shard.Partitions; p++ {
+		t.catalogOf(p).Drop(partName(name, p))
+	}
+	t.dropped++
+	return info, nil
+}
+
+// get snapshots one registered relation.
+func (t *router) get(name string) (catalog.Info, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sr, ok := t.rels[name]
+	if !ok {
+		return catalog.Info{}, false
+	}
+	return t.infoLocked(sr), true
+}
+
+// list snapshots every registered relation, sorted by name.
+func (t *router) list() []catalog.Info {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]catalog.Info, 0, len(t.rels))
+	for _, sr := range t.rels {
+		out = append(out, t.infoLocked(sr))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// infoLocked builds the logical (whole-relation) Info: global tuple count
+// and statistics from the router record, pins summed over the partition
+// entries.
+func (t *router) infoLocked(sr *shardedRel) catalog.Info {
+	info := catalog.Info{
+		Name:       sr.name,
+		Tuples:     sr.tuples,
+		Bytes:      int64(sr.tuples) * 8,
+		Source:     sr.source,
+		SkewBucket: sr.skewBucket,
+		HeavyShare: sr.heavyShare,
+		Joins:      sr.joins,
+		Created:    sr.created,
+	}
+	if sr.source != catalog.Loaded {
+		info.Dist = sr.gen.Dist.String()
+		info.Seed = sr.gen.Seed
+		info.KeyRange = sr.gen.KeyRange
+	}
+	if sr.source == catalog.Probe {
+		info.ProbeOf = sr.probeOf
+		info.Selectivity = sr.sel
+	}
+	for p := 0; p < shard.Partitions; p++ {
+		if pi, ok := t.catalogOf(p).Get(partName(sr.name, p)); ok {
+			info.Pins += pi.Pins
+		}
+	}
+	return info
+}
+
+// acquire pins every partition entry of a registered relation for one
+// query. The returned entries are in partition order; the caller releases
+// each when the query reaches a terminal state.
+func (t *router) acquire(name string) (*shardedRel, []*catalog.Entry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sr, ok := t.rels[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", catalog.ErrNotFound, name)
+	}
+	ents := make([]*catalog.Entry, shard.Partitions)
+	for p := 0; p < shard.Partitions; p++ {
+		e, err := t.catalogOf(p).Acquire(partName(name, p))
+		if err != nil {
+			for q := 0; q < p; q++ {
+				ents[q].Release()
+			}
+			return nil, nil, fmt.Errorf("shard %d: %w", shard.Owner(p, t.shards), err)
+		}
+		ents[p] = e
+	}
+	sr.joins++
+	return sr, ents, nil
+}
+
+// workload returns the planner workload buckets of the pair (build r,
+// probe s) from the full-relation ingest statistics, memoized per pair —
+// the sharded sibling of catalog.Workload, computing the identical
+// buckets (plan.PairWorkload over the same sample and membership test).
+func (t *router) workload(r, s *shardedRel) plan.Workload {
+	if r.tuples == 0 || s.tuples == 0 {
+		return plan.Workload{}
+	}
+	key := routerPairKey{r: r.name, s: s.name}
+	t.mu.Lock()
+	if w, ok := t.workloads[key]; ok {
+		t.reuses++
+		t.mu.Unlock()
+		return w
+	}
+	t.mu.Unlock()
+
+	w := plan.PairWorkload(s.sample, s.skewBucket, r.index.Contains)
+
+	t.mu.Lock()
+	// Only memoize while both names still resolve to these records: a
+	// concurrent drop must not be overwritten by a stale pair.
+	if t.rels[r.name] == r && t.rels[s.name] == s {
+		t.workloads[key] = w
+	}
+	t.mu.Unlock()
+	return w
+}
+
+// planFor plans one partition's sub-join on that partition's own planner.
+// The planner index is the fixed grid partition, never the shard, so each
+// partition's plan-cache evolution — and with it every planned decision —
+// is identical for any shard count. w, when non-nil, carries the
+// full-relation pair workload (named pairs); nil measures the partition.
+func (t *router) planFor(ctx context.Context, p int, r, s rel.Relation, opt core.Options, w *plan.Workload) (*core.Plan, error) {
+	if w != nil {
+		pl, _, _, err := t.planners[p].PlanWorkload(ctx, r, s, opt, *w)
+		return pl, err
+	}
+	pl, _, _, err := t.planners[p].Plan(ctx, r, s, opt)
+	return pl, err
+}
+
+// stats aggregates the router's catalog surface: the logical totals
+// (relations are counted once, bytes/capacity/peak sum over shards) plus
+// the per-shard gauges in shard order.
+func (t *router) stats() (catalog.Stats, []catalog.Stats) {
+	perShard := make([]catalog.Stats, len(t.catalogs))
+	var agg catalog.Stats
+	for i, c := range t.catalogs {
+		perShard[i] = c.Stats()
+		agg.Bytes += perShard[i].Bytes
+		agg.Capacity += perShard[i].Capacity
+		agg.PeakBytes += perShard[i].PeakBytes
+	}
+	t.mu.Lock()
+	agg.Relations = len(t.rels)
+	agg.Registered = t.registered
+	agg.Dropped = t.dropped
+	agg.WorkloadReuses = t.reuses
+	t.mu.Unlock()
+	return agg, perShard
+}
+
+// emptyPartResult is the zero result a partition with an empty join side
+// contributes to the merge: no matches, no simulated time, labeled with
+// the requested algorithm, scheme and architecture.
+func emptyPartResult(opt core.Options) *core.Result {
+	return &core.Result{Algo: opt.Algo, Scheme: opt.Scheme, Arch: opt.Arch}
+}
+
+// shardJob is one resolved sharded join: both sides' fixed per-partition
+// inputs, plus the full-relation pair workload when both sides are
+// registered (auto planning).
+type shardJob struct {
+	rParts, sParts [shard.Partitions]rel.Relation
+	workload       *plan.Workload
+}
+
+// resolveSharded resolves a JoinSpec through the router: named sides pin
+// every partition entry, inline sides split over the grid on the spot.
+// Unlike the unsharded resolver, mixed named/inline pairs are accepted
+// (the engine facade's contract); the HTTP layer enforces its own
+// both-or-neither rule before submitting.
+func (s *Service) resolveSharded(sp JoinSpec) (resolvedSpec, error) {
+	rs := resolvedSpec{opt: sp.Opt, auto: sp.Auto}
+	job := &shardJob{}
+	var rRec, sRec *shardedRel
+	if sp.RName != "" {
+		sr, ents, err := s.router.acquire(sp.RName)
+		if err != nil {
+			return rs, err
+		}
+		rRec = sr
+		rs.pins = append(rs.pins, ents...)
+		for p, e := range ents {
+			job.rParts[p] = e.Relation()
+		}
+	} else {
+		job.rParts = shard.Split(sp.R)
+	}
+	if sp.SName != "" {
+		sr, ents, err := s.router.acquire(sp.SName)
+		if err != nil {
+			rs.release()
+			rs.pins = nil
+			return rs, err
+		}
+		sRec = sr
+		rs.pins = append(rs.pins, ents...)
+		for p, e := range ents {
+			job.sParts[p] = e.Relation()
+		}
+	} else {
+		job.sParts = shard.Split(sp.S)
+	}
+	if sp.Auto && rRec != nil && sRec != nil {
+		w := s.router.workload(rRec, sRec)
+		job.workload = &w
+	}
+	rs.shardjob = job
+	return rs, nil
+}
+
+// execShardedJoin fans one join out to every fixed hash partition on the
+// resident pool and merges the per-partition results in partition order.
+// Equi-join matches never cross partitions, so the merged result — match
+// count and every simulated number — equals the fixed grid's and is
+// bit-identical for any shard count. Per-partition planning (auto) runs
+// inside the fan-out on the partition's own planner.
+func (s *Service) execShardedJoin(ctx context.Context, job *shardJob, opt core.Options, auto bool) (*core.Result, error) {
+	type partOut struct {
+		res *core.Result
+		err error
+	}
+	outs := sched.Collect(s.pool, shard.Partitions, func(p int) partOut {
+		// A partition with an empty side joins to nothing: skip planning
+		// (the planner refuses empty relations) and execution and
+		// contribute a zero result. Which partitions are empty depends only
+		// on the keys and the fixed grid — never the shard count — so the
+		// skip is deterministic and the invariance contract holds.
+		if job.rParts[p].Len() == 0 || job.sParts[p].Len() == 0 {
+			return partOut{res: emptyPartResult(opt)}
+		}
+		popt := opt
+		if auto {
+			pl, err := s.router.planFor(ctx, p, job.rParts[p], job.sParts[p], popt, job.workload)
+			if err != nil {
+				return partOut{err: err}
+			}
+			popt.Plan = pl
+		}
+		res, err := core.RunCtx(ctx, job.rParts[p], job.sParts[p], popt)
+		return partOut{res: res, err: err}
+	})
+	parts := make([]*core.Result, shard.Partitions)
+	for p, o := range outs {
+		if o.err != nil {
+			// Lowest partition index wins: deterministic error selection.
+			return nil, fmt.Errorf("partition %d: %w", p, o.err)
+		}
+		parts[p] = o.res
+	}
+	return shard.MergeResults(parts), nil
+}
+
+// shardedPipeSource is one resolved pipeline input on the sharded path:
+// the display name, the per-partition relations, and the router record
+// for registered sources (nil for inline ones).
+type shardedPipeSource struct {
+	name  string
+	sr    *shardedRel
+	parts [shard.Partitions]rel.Relation
+}
+
+func (src *shardedPipeSource) tuples() int {
+	n := 0
+	for _, r := range src.parts {
+		n += r.Len()
+	}
+	return n
+}
+
+// shardedPipeJob is a resolved sharded pipeline awaiting execution.
+type shardedPipeJob struct {
+	sources      []shardedPipeSource
+	declared     bool
+	materialized bool
+}
+
+// resolveShardedPipeline pins the named sources' partition entries and
+// splits the inline ones, mirroring resolvePipeline.
+func (s *Service) resolveShardedPipeline(spec PipelineSpec) (resolvedSpec, error) {
+	rs := resolvedSpec{opt: spec.Opt, auto: spec.Auto}
+	if len(spec.Sources) < 2 {
+		return rs, fmt.Errorf("%w (got %d)", ErrPipelineTooShort, len(spec.Sources))
+	}
+	pj := &shardedPipeJob{declared: spec.DeclaredOrder, materialized: spec.Materialized}
+	for i, src := range spec.Sources {
+		in := shardedPipeSource{name: src.Name}
+		if src.Name != "" {
+			sr, ents, err := s.router.acquire(src.Name)
+			if err != nil {
+				rs.release()
+				rs.pins = nil
+				return rs, fmt.Errorf("pipeline source %d: %w", i+1, err)
+			}
+			rs.pins = append(rs.pins, ents...)
+			in.sr = sr
+			for p, e := range ents {
+				in.parts[p] = e.Relation()
+			}
+		} else {
+			in.name = fmt.Sprintf("inline[%d]", i)
+			in.parts = shard.Split(src.Rel)
+		}
+		pj.sources = append(pj.sources, in)
+	}
+	rs.shardpipe = pj
+	return rs, nil
+}
+
+// partChain is one partition's executed left-deep chain.
+type partChain struct {
+	steps                    []*core.Result
+	buildTuples, probeTuples []int
+	interTuples, interBytes  int64
+	peak                     int64
+	err                      error
+}
+
+// execShardedPipeline runs a resolved pipeline on the sharded path: the
+// left-deep order is chosen ONCE from the full-relation statistics (every
+// partition executes the same order), each partition then runs the whole
+// chain independently over its slice of every source, and the per-step
+// results merge across partitions in partition order. The chain
+// decomposes exactly because every source is partitioned on the shared
+// join key: step t of partition p only ever meets keys of partition p.
+//
+// Streamed and materialized modes mirror the unsharded accounting against
+// the owning partition's shard catalog: streamed chains hold at most one
+// transient intermediate per partition (reserved, freed before the next
+// is reserved); materialized chains charge every intermediate's bytes
+// plus its would-be statistics until the pipeline ends — without
+// registering anything, so no shard catalog ever lists an intermediate.
+// PeakIntermediateBytes sums the per-partition chain peaks: the chains
+// execute concurrently, so their peaks are simultaneous in the worst
+// case, and the sum is a pure function of the grid (shard-count
+// invariant).
+func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, opt core.Options, auto bool) (*PipelineResult, error) {
+	n := len(pj.sources)
+
+	// Global order from the full-relation statistics; any inline source
+	// means no statistics and declaration order, as on the unsharded path.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ordered := false
+	if !pj.declared {
+		rels := make([]plan.PipeRel, n)
+		for i := range pj.sources {
+			rels[i] = plan.PipeRel{Tuples: pj.sources[i].tuples()}
+			if pj.sources[i].sr != nil {
+				rels[i].HeavyShare = pj.sources[i].sr.heavyShare
+			}
+		}
+		order, ordered = plan.OrderPipeline(rels, func(i, j int) (plan.Workload, bool) {
+			bi, pi := pj.sources[i].sr, pj.sources[j].sr
+			if bi == nil || pi == nil {
+				return plan.Workload{}, false
+			}
+			return s.router.workload(bi, pi), true
+		})
+	}
+	res := &PipelineResult{Order: order, Ordered: ordered, Streamed: !pj.materialized}
+
+	// The first step's pair workload, when both inputs are registered:
+	// per-partition planning fingerprints with the full-relation buckets,
+	// like a registered pairwise join would. Later steps build from
+	// intermediates and measure their partitions.
+	var wFirst *plan.Workload
+	if auto {
+		if b, p0 := pj.sources[order[0]].sr, pj.sources[order[1]].sr; b != nil && p0 != nil {
+			w := s.router.workload(b, p0)
+			wFirst = &w
+		}
+	}
+
+	chains := sched.Collect(s.pool, shard.Partitions, func(p int) *partChain {
+		return s.runPartitionChain(ctx, pj, order, p, opt, auto, wFirst)
+	})
+	for p, c := range chains {
+		if c.err != nil {
+			// Lowest partition index wins: deterministic error selection.
+			return nil, fmt.Errorf("partition %d: %w", p, c.err)
+		}
+	}
+
+	// Merge per step across partitions, in partition order; labels and
+	// tuple counts are global (full-relation) quantities.
+	for t := 1; t < n; t++ {
+		idx := t - 1
+		parts := make([]*core.Result, shard.Partitions)
+		buildT, probeT := 0, 0
+		for p, c := range chains {
+			parts[p] = c.steps[idx]
+			buildT += c.buildTuples[idx]
+			probeT += c.probeTuples[idx]
+		}
+		merged := shard.MergeResults(parts)
+		build := pj.sources[order[0]].name
+		if t > 1 {
+			build = fmt.Sprintf("step%d", t-1)
+		}
+		res.Steps = append(res.Steps, PipelineStep{
+			Build:       build,
+			Probe:       pj.sources[order[t]].name,
+			BuildTuples: buildT,
+			ProbeTuples: probeT,
+			OutTuples:   merged.Matches,
+			Result:      merged,
+		})
+		res.TotalNS += merged.TotalNS
+		if t == n-1 {
+			res.Final = merged
+		}
+	}
+	for _, c := range chains {
+		res.IntermediateTuples += c.interTuples
+		res.IntermediateBytes += c.interBytes
+		res.PeakIntermediateBytes += c.peak
+	}
+	return res, nil
+}
+
+// runPartitionChain executes the whole left-deep chain over partition p's
+// slice of every source — the sharded sibling of execPipeline's loop,
+// with reservations against the partition's owning shard catalog.
+func (s *Service) runPartitionChain(ctx context.Context, pj *shardedPipeJob, order []int, p int, opt core.Options, auto bool, wFirst *plan.Workload) *partChain {
+	c := &partChain{}
+	cat := s.router.catalogOf(p)
+	n := len(pj.sources)
+
+	// reserved tracks every live reservation of this chain (returned on
+	// exit — the last streamed intermediate, every materialized one, or
+	// whatever an error orphaned); curTransient the reservation backing
+	// the current streamed intermediate.
+	var reserved, curTransient, resident int64
+	defer func() { cat.Unreserve(reserved) }()
+	charge := func(b int64) {
+		resident += b
+		if resident > c.peak {
+			c.peak = resident
+		}
+	}
+
+	cur := pj.sources[order[0]].parts[p]
+	curName := pj.sources[order[0]].name
+	for t := 1; t < n; t++ {
+		probe := pj.sources[order[t]].parts[p]
+		var stepRes *core.Result
+		if cur.Len() == 0 || probe.Len() == 0 {
+			// An empty side joins to nothing: skip planning and execution
+			// for this partition's step (deterministic — emptiness depends
+			// only on the keys and the fixed grid, never the shard count).
+			// The zero-match intermediate still flows through the normal
+			// hand-off below, producing an empty build side for the next
+			// step.
+			stepRes = emptyPartResult(opt)
+		} else {
+			stepOpt := opt
+			if auto {
+				var w *plan.Workload
+				if t == 1 {
+					w = wFirst
+				}
+				pl, err := s.router.planFor(ctx, p, cur, probe, stepOpt, w)
+				if err != nil {
+					c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): plan: %w", t, curName, pj.sources[order[t]].name, err)
+					return c
+				}
+				stepOpt.Plan = pl
+			}
+
+			var err error
+			stepRes, err = core.RunCtx(ctx, cur, probe, stepOpt)
+			if err != nil {
+				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): %w", t, curName, pj.sources[order[t]].name, err)
+				return c
+			}
+		}
+		c.steps = append(c.steps, stepRes)
+		c.buildTuples = append(c.buildTuples, cur.Len())
+		c.probeTuples = append(c.probeTuples, probe.Len())
+		if t == n-1 {
+			break
+		}
+		if stepRes.Matches > math.MaxInt32 {
+			c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples exceeds the representable relation size",
+				t, curName, pj.sources[order[t]].name, stepRes.Matches)
+			return c
+		}
+
+		if !pj.materialized {
+			// Streamed hand-off, per partition: derive the per-key state,
+			// free the previous transient, reserve the new intermediate
+			// against the owning shard catalog, then produce.
+			counts := rel.KeyCounts(cur)
+			if curTransient > 0 {
+				cat.Unreserve(curTransient)
+				reserved -= curTransient
+				resident -= curTransient
+				curTransient = 0
+			}
+			bytes := stepRes.Matches * 8
+			if err := cat.Reserve(bytes); err != nil {
+				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+					t, curName, pj.sources[order[t]].name, stepRes.Matches, err)
+				return c
+			}
+			reserved += bytes
+			inter := core.StreamMaterialize(opt.Pool, counts, probe)
+			if int64(inter.Len()) != stepRes.Matches {
+				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): streamed %d tuples but the join counted %d — engine bug",
+					t, curName, pj.sources[order[t]].name, inter.Len(), stepRes.Matches)
+				return c
+			}
+			charge(bytes)
+			c.interTuples += int64(inter.Len())
+			c.interBytes += inter.Bytes()
+			cur = inter
+			curTransient = bytes
+		} else {
+			// Materialized mode: charge what the unsharded path charges —
+			// relation bytes plus the would-be ingest statistics — held to
+			// the pipeline's end, but never register the intermediate (a
+			// sharded catalog lists only whole registered relations).
+			bytes := stepRes.Matches*8 + catalog.StatBytes(int(stepRes.Matches))
+			if err := cat.Reserve(bytes); err != nil {
+				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+					t, curName, pj.sources[order[t]].name, stepRes.Matches, err)
+				return c
+			}
+			reserved += bytes
+			inter := rel.JoinMaterialize(cur, probe)
+			if int64(inter.Len()) != stepRes.Matches {
+				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): materialized %d tuples but the join counted %d — engine bug",
+					t, curName, pj.sources[order[t]].name, inter.Len(), stepRes.Matches)
+				return c
+			}
+			charge(bytes)
+			c.interTuples += int64(inter.Len())
+			c.interBytes += inter.Bytes()
+			cur = inter
+		}
+		curName = fmt.Sprintf("step%d", t)
+	}
+	return c
+}

@@ -1,0 +1,356 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/core"
+	"apujoin/internal/oracle"
+	"apujoin/internal/rel"
+)
+
+// TestRouterBudgetSplitDefault: without ShardBudget the catalog capacity
+// splits evenly across the per-shard catalogs, and the aggregate gauge
+// reports the sum.
+func TestRouterBudgetSplitDefault(t *testing.T) {
+	svc := New(Config{Workers: 1, Shards: 4, CatalogBytes: 4096})
+	defer svc.Close()
+	st := svc.Stats()
+	if len(st.ShardCatalogs) != 4 {
+		t.Fatalf("shard catalogs = %d, want 4", len(st.ShardCatalogs))
+	}
+	for i, sc := range st.ShardCatalogs {
+		if sc.Capacity != 1024 {
+			t.Errorf("shard %d capacity = %d, want 1024", i, sc.Capacity)
+		}
+	}
+	if st.Catalog.Capacity != 4096 {
+		t.Errorf("aggregate capacity = %d, want 4096", st.Catalog.Capacity)
+	}
+
+	// An explicit per-shard budget overrides the split.
+	svc2 := New(Config{Workers: 1, Shards: 2, CatalogBytes: 4096, ShardBudget: 512})
+	defer svc2.Close()
+	for i, sc := range svc2.Stats().ShardCatalogs {
+		if sc.Capacity != 512 {
+			t.Errorf("explicit budget: shard %d capacity = %d, want 512", i, sc.Capacity)
+		}
+	}
+}
+
+// TestRouterRegisterRollback: a registration one shard's budget cannot
+// hold fails with ErrNoSpace and rolls back the partitions already loaded
+// into other shards — no orphaned partial relation survives anywhere.
+func TestRouterRegisterRollback(t *testing.T) {
+	// Each shard holds ~half of a hash-split relation; 2 KB per shard
+	// admits ~250 tuples total but not 4000.
+	svc := New(Config{Workers: 1, Shards: 2, ShardBudget: 2048})
+	defer svc.Close()
+	if _, err := svc.RegisterGen("small", rel.Gen{N: 100, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Stats().Catalog
+
+	if _, err := svc.RegisterGen("huge", rel.Gen{N: 4000, Seed: 2}); !errors.Is(err, catalog.ErrNoSpace) {
+		t.Fatalf("oversized sharded register: err %v, want catalog.ErrNoSpace", err)
+	}
+	after := svc.Stats().Catalog
+	if after.Bytes != before.Bytes || after.Relations != before.Relations {
+		t.Errorf("failed register leaked residency: %d bytes / %d relations, want %d / %d",
+			after.Bytes, after.Relations, before.Bytes, before.Relations)
+	}
+	if _, ok := svc.RelationInfo("huge"); ok {
+		t.Error("failed registration left the name bound")
+	}
+	// The name stays free for a fitting relation.
+	if _, err := svc.RegisterGen("huge", rel.Gen{N: 50, Seed: 3}); err != nil {
+		t.Errorf("re-register after rollback: %v", err)
+	}
+}
+
+// TestRouterLifecycle: duplicate names, drop semantics and the router's
+// registered/dropped counters across the sharded catalog surface.
+func TestRouterLifecycle(t *testing.T) {
+	svc := New(Config{Workers: 2, Shards: 3})
+	defer svc.Close()
+
+	if _, err := svc.RegisterGen("r", rel.Gen{N: 5000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterGen("r", rel.Gen{N: 10, Seed: 2}); !errors.Is(err, catalog.ErrExists) {
+		t.Errorf("duplicate register: err %v, want catalog.ErrExists", err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", rel.Gen{N: 6000, Seed: 2}, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	infos := svc.Relations()
+	if len(infos) != 2 || infos[0].Name != "r" || infos[1].Name != "s" {
+		t.Fatalf("relations = %+v, want sorted [r s]", infos)
+	}
+	if info, ok := svc.RelationInfo("s"); !ok || info.ProbeOf != "r" || info.Selectivity != 0.8 || info.Tuples != 6000 {
+		t.Errorf("probe info = %+v, ok=%v", info, ok)
+	}
+
+	if _, err := svc.DropRelation("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.DropRelation("s"); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("double drop: err %v, want catalog.ErrNotFound", err)
+	}
+	if _, err := svc.RegisterProbe("p", "missing", rel.Gen{N: 10, Seed: 4}, 1.0); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("probe of missing base: err %v, want catalog.ErrNotFound", err)
+	}
+
+	st := svc.Stats().Catalog
+	if st.Registered != 2 || st.Dropped != 1 || st.Relations != 1 {
+		t.Errorf("counters: registered=%d dropped=%d relations=%d, want 2/1/1",
+			st.Registered, st.Dropped, st.Relations)
+	}
+}
+
+// TestRouterProbeChainRegeneration: a probe-of-probe chain on the sharded
+// service joins to exactly the counts of the same chain generated
+// directly — the router regenerated each build side in original tuple
+// order, not from its partition split.
+func TestRouterProbeChainRegeneration(t *testing.T) {
+	svc := New(Config{Workers: 2, Shards: 2})
+	defer svc.Close()
+
+	rg := rel.Gen{N: 4000, Seed: 1}
+	sg := rel.Gen{N: 5000, Dist: rel.HighSkew, Seed: 2}
+	tg := rel.Gen{N: 3000, Seed: 3}
+	if _, err := svc.RegisterGen("r", rg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", sg, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("u", "s", tg, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rg.Build()
+	s := sg.Probe(r, 0.7)
+	u := tg.Probe(s, 0.5)
+	opt := core.Options{Delta: 0.25, PilotItems: 1 << 8}
+	for _, pair := range []struct {
+		rn, sn string
+		want   int64
+	}{
+		{"r", "s", oracle.JoinCount(r, s)},
+		{"s", "u", oracle.JoinCount(s, u)},
+	} {
+		res, err := svc.RunJoin(context.Background(), JoinSpec{RName: pair.rn, SName: pair.sn, Opt: opt})
+		if err != nil {
+			t.Fatalf("%s ⋈ %s: %v", pair.rn, pair.sn, err)
+		}
+		if res.Matches != pair.want {
+			t.Errorf("%s ⋈ %s: matches %d, oracle %d", pair.rn, pair.sn, res.Matches, pair.want)
+		}
+	}
+
+	// A probe anchored on a bulk load cannot regenerate.
+	if _, err := svc.LoadRelation("bulk", rg.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("q", "bulk", rel.Gen{N: 10, Seed: 9}, 1.0); err == nil {
+		t.Error("probe of a bulk-loaded relation registered, want error")
+	}
+}
+
+// TestRouterShardedJoinPaths: RunJoin's sharded resolution accepts named,
+// inline and mixed source pairs — splitting inline sides on the spot —
+// and surfaces catalog errors from any partition.
+func TestRouterShardedJoinPaths(t *testing.T) {
+	svc := New(Config{Workers: 2, Shards: 2})
+	defer svc.Close()
+	if !svc.Sharded() || svc.Shards() != 2 {
+		t.Fatalf("Sharded()=%v Shards()=%d, want true/2", svc.Sharded(), svc.Shards())
+	}
+	if svc.Pool() == nil {
+		t.Fatal("resident pool missing")
+	}
+
+	rg := rel.Gen{N: 3000, Seed: 1}
+	sg := rel.Gen{N: 3000, Seed: 2}
+	r := rg.Build()
+	s := sg.Probe(r, 0.9)
+	want := oracle.JoinCount(r, s)
+	if _, err := svc.RegisterGen("r", rg); err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{Delta: 0.25, PilotItems: 1 << 8}
+	for name, spec := range map[string]JoinSpec{
+		"inline": {R: r, S: s, Opt: opt},
+		"mixed":  {RName: "r", S: s, Opt: opt},
+		"auto":   {RName: "r", S: s, Opt: opt, Auto: true},
+	} {
+		res, err := svc.RunJoin(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Matches != want {
+			t.Errorf("%s: matches %d, oracle %d", name, res.Matches, want)
+		}
+	}
+	if _, err := svc.RunJoin(context.Background(), JoinSpec{RName: "r", SName: "missing", Opt: opt}); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("unknown probe name: err %v, want catalog.ErrNotFound", err)
+	}
+}
+
+// TestRouterShardedPipeline: the sharded pipeline path — global order,
+// per-partition chains, deterministic per-step merge — matches the
+// multi-way oracle on streamed, materialized and declared-order runs,
+// streamed and materialized agree bit for bit, and tiny relations whose
+// hash partitions are mostly empty still chain correctly.
+func TestRouterShardedPipeline(t *testing.T) {
+	svc := New(Config{Workers: 2, Shards: 3})
+	defer svc.Close()
+
+	rg := rel.Gen{N: 3000, Seed: 1}
+	sg := rel.Gen{N: 4000, Dist: rel.HighSkew, Seed: 2}
+	ug := rel.Gen{N: 2500, Seed: 3}
+	if _, err := svc.RegisterGen("r", rg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", sg, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("u", "r", ug, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	r := rg.Build()
+	s := sg.Probe(r, 0.7)
+	u := ug.Probe(r, 0.4)
+	want := oracle.PipelineCount([]rel.Relation{r, s, u})
+
+	opt := core.Options{Delta: 0.25, PilotItems: 1 << 8}
+	named := []PipelineSource{{Name: "r"}, {Name: "s"}, {Name: "u"}}
+	streamed, err := svc.RunPipeline(context.Background(), PipelineSpec{Sources: named, Opt: opt, Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Final.Matches != want {
+		t.Errorf("streamed: matches %d, oracle %d", streamed.Final.Matches, want)
+	}
+	if !streamed.Streamed || !streamed.Ordered || streamed.PeakIntermediateBytes <= 0 {
+		t.Errorf("streamed run: Streamed=%v Ordered=%v peak=%d", streamed.Streamed, streamed.Ordered, streamed.PeakIntermediateBytes)
+	}
+	mat, err := svc.RunPipeline(context.Background(), PipelineSpec{Sources: named, Opt: opt, Auto: true, Materialized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Streamed {
+		t.Error("materialized run reported Streamed")
+	}
+	if !reflect.DeepEqual(streamed.Order, mat.Order) || !reflect.DeepEqual(streamed.Final, mat.Final) {
+		t.Error("streamed and materialized sharded pipelines diverge")
+	}
+
+	// Inline sources run in declaration order; tiny relations leave most
+	// of the 8 hash partitions empty on at least one side.
+	tinyR := rel.Gen{N: 6, Seed: 9}.Build()
+	tinyS := rel.Gen{N: 8, Seed: 10}.Probe(tinyR, 1.0)
+	tinyU := rel.Gen{N: 5, Seed: 11}.Probe(tinyR, 1.0)
+	tiny, err := svc.RunPipeline(context.Background(), PipelineSpec{
+		Sources:       []PipelineSource{{Rel: tinyR}, {Rel: tinyS}, {Rel: tinyU}},
+		Opt:           opt,
+		DeclaredOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw := oracle.PipelineCount([]rel.Relation{tinyR, tinyS, tinyU}); tiny.Final.Matches != tw {
+		t.Errorf("tiny sharded pipeline: matches %d, oracle %d", tiny.Final.Matches, tw)
+	}
+
+	// Error surface: too few sources, unknown names.
+	if _, err := svc.RunPipeline(context.Background(), PipelineSpec{Sources: named[:1], Opt: opt}); !errors.Is(err, ErrPipelineTooShort) {
+		t.Errorf("one source: err %v, want ErrPipelineTooShort", err)
+	}
+	if _, err := svc.RunPipeline(context.Background(), PipelineSpec{
+		Sources: []PipelineSource{{Name: "r"}, {Name: "nope"}}, Opt: opt,
+	}); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("unknown source: err %v, want catalog.ErrNotFound", err)
+	}
+}
+
+// TestRouterShardedPipelineBudget: a sharded pipeline whose intermediate
+// overflows a shard's budget fails with ErrNoSpace on both execution
+// paths and restores every shard's residency gauge.
+func TestRouterShardedPipelineBudget(t *testing.T) {
+	rg := rel.Gen{N: 2000, Seed: 1}
+	sg := rel.Gen{N: 2000, Seed: 2}
+	ug := rel.Gen{N: 2000, Seed: 3}
+	// Sources fit (ingest splits ~6000 tuples over 2 shards), but each
+	// selectivity-1 intermediate (~2000 tuples in one chain) cannot.
+	svc := New(Config{Workers: 2, Shards: 2, ShardBudget: 26_000})
+	defer svc.Close()
+	if _, err := svc.RegisterGen("r", rg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", sg, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("u", "r", ug, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Stats().Catalog.Bytes
+
+	named := []PipelineSource{{Name: "r"}, {Name: "s"}, {Name: "u"}}
+	opt := core.Options{Delta: 0.25, PilotItems: 1 << 8}
+	for _, materialized := range []bool{false, true} {
+		_, err := svc.RunPipeline(context.Background(), PipelineSpec{
+			Sources: named, Opt: opt, Materialized: materialized, DeclaredOrder: true,
+		})
+		if !errors.Is(err, catalog.ErrNoSpace) {
+			t.Errorf("overflowing intermediate (materialized=%v): err %v, want catalog.ErrNoSpace", materialized, err)
+		}
+	}
+	if after := svc.Stats().Catalog.Bytes; after != before {
+		t.Errorf("failed pipeline leaked residency: %d bytes, want %d", after, before)
+	}
+}
+
+// TestRouterWorkloadMemoization: repeated auto joins of the same named
+// pair reuse the memoized ingest-time workload (the reuse counter climbs)
+// and dropping either side invalidates the memo without breaking later
+// queries.
+func TestRouterWorkloadMemoization(t *testing.T) {
+	svc := New(Config{Workers: 2, Shards: 2})
+	defer svc.Close()
+	if _, err := svc.RegisterGen("r", rel.Gen{N: 8000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", rel.Gen{N: 8000, Seed: 2}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	spec := JoinSpec{RName: "r", SName: "s", Opt: core.Options{Delta: 0.25, PilotItems: 1 << 8}, Auto: true}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.RunJoin(context.Background(), spec); err != nil {
+			t.Fatalf("auto join %d: %v", i, err)
+		}
+	}
+	if reuses := svc.Stats().Catalog.WorkloadReuses; reuses < 2 {
+		t.Errorf("workload reuses = %d after 3 identical auto joins, want >= 2", reuses)
+	}
+
+	if _, err := svc.DropRelation("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterProbe("s", "r", rel.Gen{N: 400, Seed: 7}, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.RunJoin(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.JoinCount(rel.Gen{N: 8000, Seed: 1}.Build(),
+		rel.Gen{N: 400, Seed: 7}.Probe(rel.Gen{N: 8000, Seed: 1}.Build(), 0.2))
+	if res.Matches != want {
+		t.Errorf("join after drop+re-register: matches %d, oracle %d (stale workload memo?)", res.Matches, want)
+	}
+}

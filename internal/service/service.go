@@ -41,8 +41,11 @@ var ErrClosed = errors.New("service: closed")
 // should retry later (HTTP layers map it to 429/503).
 var ErrQueueFull = errors.New("service: admission queue full")
 
-// Options configures a Service.
-type Options struct {
+// Config configures a Service: one struct carries every sizing knob —
+// pool, admission, plan cache, catalog budget and sharding — so front-ends
+// (cmd/apujoind's flags, the engine facade's options) fold their settings
+// into a single value instead of threading positional constructor args.
+type Config struct {
 	// Workers sizes the shared resident worker pool; <= 0 selects
 	// GOMAXPROCS.
 	Workers int
@@ -57,14 +60,35 @@ type Options struct {
 	// defaults to 1024. The oldest finished queries are evicted first.
 	KeepResults int
 	// PlanCache bounds the shared plan cache consulted by SubmitAuto;
-	// <= 0 selects plan.DefaultCacheCapacity.
+	// <= 0 selects plan.DefaultCacheCapacity. A sharded service applies
+	// the same capacity to each fixed hash partition's planner.
 	PlanCache int
 	// CatalogBytes bounds the zero-copy space the relation catalog's
 	// resident relations may occupy; <= 0 selects the A8-3870K's 512 MB.
+	// A sharded service splits this total across the per-shard catalogs
+	// unless ShardBudget sets the per-shard bound directly.
 	CatalogBytes int64
+	// Shards > 0 partitions the relation catalog by key hash across that
+	// many in-process engine shards behind the service's stateless router:
+	// relations register once and split over the fixed shard.Partitions
+	// grid, joins and pipelines fan out to every partition and merge
+	// deterministically, and results are bit-identical for any shard
+	// count. 0 (the default) keeps the single resident catalog and the
+	// legacy execution path. Values above shard.Partitions are clamped.
+	Shards int
+	// ShardBudget bounds each shard catalog's zero-copy bytes; <= 0
+	// splits CatalogBytes (or its 512 MB default) evenly across the
+	// shards.
+	ShardBudget int64
 }
 
-func (o *Options) setDefaults() {
+// Options is the former name of Config.
+//
+// Deprecated: use Config. The alias is kept one release for callers
+// constructing services positionally; it will be removed.
+type Options = Config
+
+func (o *Config) setDefaults() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -325,8 +349,16 @@ type Stats struct {
 
 	// Catalog mirrors the relation catalog: resident relations, their
 	// zero-copy footprint, and how often ingest-time statistics were
-	// reused in place of per-query measurement.
+	// reused in place of per-query measurement. On a sharded service it is
+	// the aggregate across shards (logical relations, summed bytes,
+	// capacity and peak) and ShardCatalogs carries each shard's own
+	// gauges.
 	Catalog catalog.Stats `json:"catalog"`
+
+	// Shards is the router's shard count (0 = unsharded) and ShardCatalogs
+	// the per-shard catalog gauges, in shard order.
+	Shards        int             `json:"shards,omitempty"`
+	ShardCatalogs []catalog.Stats `json:"shard_catalogs,omitempty"`
 }
 
 // MeanPlanErr returns the mean relative predicted-vs-simulated error of
@@ -341,10 +373,16 @@ func (s Stats) MeanPlanErr() float64 {
 
 // Service is a multi-query join service over one shared resident pool.
 type Service struct {
-	opt     Options
+	opt     Config
 	pool    *sched.Pool
 	planner *plan.Planner
 	catalog *catalog.Catalog
+	// router is the sharded-mode front: non-nil when Config.Shards > 0,
+	// owning the per-shard catalogs and the per-partition planners. With a
+	// router, relation registration and every join or pipeline go through
+	// the fixed hash-partition grid; without one the legacy single-catalog
+	// path below runs unchanged.
+	router *router
 	// sem holds one slot per concurrently executing query; acquisition
 	// order is the runtime's FIFO for blocked channel sends, which
 	// interleaves waiting queries fairly.
@@ -366,7 +404,7 @@ type Service struct {
 
 // New starts a service: the resident pool spins up immediately and lives
 // until Close.
-func New(opt Options) *Service {
+func New(opt Config) *Service {
 	opt.setDefaults()
 	s := &Service{
 		opt:     opt,
@@ -377,9 +415,23 @@ func New(opt Options) *Service {
 		closing: make(chan struct{}),
 		queries: make(map[int64]*Query),
 	}
+	if opt.Shards > 0 {
+		s.router = newRouter(opt)
+	}
 	s.stats.Workers = s.pool.Workers()
 	s.stats.MaxConcurrent = opt.MaxConcurrent
 	return s
+}
+
+// Sharded reports whether the service runs the sharded router path.
+func (s *Service) Sharded() bool { return s.router != nil }
+
+// Shards returns the configured shard count (0 for an unsharded service).
+func (s *Service) Shards() int {
+	if s.router == nil {
+		return 0
+	}
+	return s.router.shards
 }
 
 // Pool exposes the shared resident pool (for callers running joins outside
@@ -387,8 +439,97 @@ func New(opt Options) *Service {
 func (s *Service) Pool() *sched.Pool { return s.pool }
 
 // Catalog exposes the relation catalog: register data once (generator
-// spec or bulk load), then submit queries referencing the names.
+// spec or bulk load), then submit queries referencing the names. On a
+// sharded service this is the legacy single catalog, which the router
+// path does not use — register through the Service's relation methods
+// instead, which dispatch to the router when sharding is on.
 func (s *Service) Catalog() *catalog.Catalog { return s.catalog }
+
+// RegisterGen generates and registers a build relation from a spec,
+// splitting it across the shard catalogs when the service is sharded.
+func (s *Service) RegisterGen(name string, g rel.Gen) (catalog.Info, error) {
+	if s.router != nil {
+		return s.router.registerGen(name, g)
+	}
+	return s.catalog.RegisterGen(name, g)
+}
+
+// RegisterProbe generates and registers a probe relation against the
+// registered build relation of, with the given match selectivity. A
+// sharded service regenerates the build side from its stored spec (in
+// original tuple order) before generating, so the probe is bit-identical
+// to the unsharded generation from the same specs.
+func (s *Service) RegisterProbe(name, of string, g rel.Gen, selectivity float64) (catalog.Info, error) {
+	if s.router != nil {
+		return s.router.registerProbe(name, of, g, selectivity)
+	}
+	return s.catalog.RegisterProbe(name, of, g, selectivity)
+}
+
+// LoadRelation registers an existing relation (bulk load), splitting it
+// across the shard catalogs when the service is sharded.
+func (s *Service) LoadRelation(name string, r rel.Relation) (catalog.Info, error) {
+	if s.router != nil {
+		return s.router.load(name, r)
+	}
+	return s.catalog.Load(name, r)
+}
+
+// DropRelation unregisters a relation: the name unbinds immediately while
+// in-flight queries keep their pins.
+func (s *Service) DropRelation(name string) (catalog.Info, error) {
+	if s.router != nil {
+		return s.router.drop(name)
+	}
+	return s.catalog.Drop(name)
+}
+
+// Relations lists the registered relations, sorted by name.
+func (s *Service) Relations() []catalog.Info {
+	if s.router != nil {
+		return s.router.list()
+	}
+	return s.catalog.List()
+}
+
+// RelationInfo snapshots one registered relation.
+func (s *Service) RelationInfo(name string) (catalog.Info, bool) {
+	if s.router != nil {
+		return s.router.get(name)
+	}
+	return s.catalog.Get(name)
+}
+
+// RunJoin executes one join synchronously, outside the admission layer —
+// the engine facade's sharded path (the caller bounds its own concurrency
+// and provides the worker pool through spec.Opt). The spec resolves
+// exactly as SubmitSpec's would: on a sharded service it fans out to every
+// fixed hash partition and merges deterministically.
+func (s *Service) RunJoin(ctx context.Context, spec JoinSpec) (*core.Result, error) {
+	rs, err := s.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.release()
+	if rs.shardjob != nil {
+		return s.execShardedJoin(ctx, rs.shardjob, rs.opt, rs.auto)
+	}
+	opt := rs.opt
+	if rs.auto {
+		var pl *core.Plan
+		var perr error
+		if rs.workload != nil {
+			pl, _, _, perr = s.planner.PlanWorkload(ctx, rs.r, rs.s, opt, *rs.workload)
+		} else {
+			pl, _, _, perr = s.planner.Plan(ctx, rs.r, rs.s, opt)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		opt.Plan = pl
+	}
+	return core.RunCtx(ctx, rs.r, rs.s, opt)
+}
 
 // PlanFor consults the service's shared planner and plan cache outside the
 // admission layer (the engine facade's synchronous path). w, when non-nil,
@@ -458,6 +599,10 @@ type resolvedSpec struct {
 	workload *plan.Workload
 	// pipe marks a pipeline job (SubmitPipeline); r/s/workload are unused.
 	pipe *pipeJob
+	// shardjob / shardpipe mark sharded-router work (Config.Shards > 0):
+	// the per-partition inputs of a join or pipeline. r/s/pipe are unused.
+	shardjob  *shardJob
+	shardpipe *shardedPipeJob
 }
 
 func (rs *resolvedSpec) release() {
@@ -467,8 +612,14 @@ func (rs *resolvedSpec) release() {
 }
 
 // resolve pins the catalog entries a spec references and captures their
-// ingest-time workload statistics for the planner.
+// ingest-time workload statistics for the planner. On a sharded service
+// the spec resolves through the router instead: each side becomes its
+// fixed per-partition inputs (named sides pin all partition entries,
+// inline sides split on the spot).
 func (s *Service) resolve(sp JoinSpec) (resolvedSpec, error) {
+	if s.router != nil {
+		return s.resolveSharded(sp)
+	}
 	rs := resolvedSpec{r: sp.R, s: sp.S, opt: sp.Opt, auto: sp.Auto}
 	if (sp.RName == "") != (sp.SName == "") {
 		return rs, fmt.Errorf("service: reference both relations by name or neither (r %q, s %q)", sp.RName, sp.SName)
@@ -672,15 +823,38 @@ func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted b
 
 	// A pipeline query runs its whole chain inside the one admission slot;
 	// the final step's Result is the query's Result and the per-step
-	// report lands on the query before it turns terminal.
-	if rs.pipe != nil {
-		pres, err := s.execPipeline(ctx, rs.pipe, opt, rs.auto)
+	// report lands on the query before it turns terminal. Sharded
+	// pipelines fan the chain out per partition the same way.
+	if rs.pipe != nil || rs.shardpipe != nil {
+		var pres *PipelineResult
+		var err error
+		if rs.shardpipe != nil {
+			pres, err = s.execShardedPipeline(ctx, rs.shardpipe, opt, rs.auto)
+		} else {
+			pres, err = s.execPipeline(ctx, rs.pipe, opt, rs.auto)
+		}
 		switch {
 		case err == nil:
 			q.mu.Lock()
 			q.pipe = pres
 			q.mu.Unlock()
 			s.finish(q, pres.Final, nil, Done, started)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.finish(q, nil, err, Canceled, started)
+		default:
+			s.finish(q, nil, err, Failed, started)
+		}
+		return
+	}
+
+	// A sharded join fans out to every fixed hash partition inside the one
+	// admission slot and merges deterministically; per-partition planning
+	// happens inside the fan-out on the partition's own planner.
+	if rs.shardjob != nil {
+		res, err := s.execShardedJoin(ctx, rs.shardjob, opt, rs.auto)
+		switch {
+		case err == nil:
+			s.finish(q, res, nil, Done, started)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.finish(q, nil, err, Canceled, started)
 		default:
@@ -866,16 +1040,30 @@ func (s *Service) Queries() []Info {
 }
 
 // Stats snapshots the metrics surface, folding in the plan cache counters.
+// On a sharded service the plan counters sum over the per-partition
+// planners, Catalog aggregates the shard catalogs, and ShardCatalogs
+// carries the per-shard gauges.
 func (s *Service) Stats() Stats {
 	cs := s.planner.Stats()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
+	s.mu.Unlock()
 	st.PlanHits = cs.Hits
 	st.PlanMisses = cs.Misses
 	st.PlanEvictions = cs.Evictions
 	st.PlanEntries = cs.Entries
 	st.Catalog = s.catalog.Stats()
+	if s.router != nil {
+		for _, p := range s.router.planners {
+			pcs := p.Stats()
+			st.PlanHits += pcs.Hits
+			st.PlanMisses += pcs.Misses
+			st.PlanEvictions += pcs.Evictions
+			st.PlanEntries += pcs.Entries
+		}
+		st.Shards = s.router.shards
+		st.Catalog, st.ShardCatalogs = s.router.stats()
+	}
 	return st
 }
 

@@ -1,0 +1,136 @@
+// Package shard owns the hash partitioner and the deterministic merge
+// behind the sharded engine: relations are split once into a fixed grid of
+// Partitions key-hash partitions, partitions are assigned to N in-process
+// engine shards by a contiguous ownership map, and per-partition join
+// results are reduced in partition order.
+//
+// The shard-count-invariance contract rests on the grid being fixed: the
+// partition a tuple lands in depends only on its key, never on the shard
+// count, so an equi-join (or a whole left-deep pipeline over the shared
+// key) decomposes into Partitions independent sub-joins whose inputs — and
+// therefore whose match counts and simulated times — are identical for any
+// shard count. Changing the shard count moves partitions between catalogs
+// and budgets; it never changes a single computed number. This is the same
+// trick the worker-count contract uses (fixed morsel grids, ordered
+// reduction in sched.Pool), lifted one level up.
+package shard
+
+import (
+	"apujoin/internal/core"
+	"apujoin/internal/hash"
+	"apujoin/internal/rel"
+)
+
+// Partitions is the fixed number of hash partitions every relation is
+// split into, independent of the shard count. Shard counts above it are
+// clamped: a shard can own several partitions, but a partition never
+// spans shards. Eight keeps per-partition relations large enough to join
+// efficiently while dividing evenly among 1, 2 or 4 shards.
+const Partitions = 8
+
+// partitionSeed seeds the partitioner's Murmur2, deliberately distinct
+// from hash.Murmur2Seed: the join kernels bucket and radix-partition with
+// the default seed, and reusing it here would send every tuple of a
+// partition into a correlated subset of hash buckets.
+const partitionSeed uint32 = 0x85ebca6b
+
+// PartitionOf returns the fixed grid partition owning key, in
+// [0, Partitions).
+func PartitionOf(key int32) int {
+	return int(hash.Murmur2(uint32(key), partitionSeed) & (Partitions - 1))
+}
+
+// Clamp normalizes a configured shard count: values below 1 select one
+// shard, values above Partitions are capped at Partitions (extra shards
+// would own no partition).
+func Clamp(shards int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards > Partitions {
+		return Partitions
+	}
+	return shards
+}
+
+// Owner maps a partition to the shard owning it under a given shard
+// count: partitions are assigned contiguously (shard k owns partitions
+// [k*Partitions/shards, (k+1)*Partitions/shards)), so growing the shard
+// count splits ownership ranges without interleaving them.
+func Owner(part, shards int) int {
+	return part * Clamp(shards) / Partitions
+}
+
+// Split partitions a relation over the fixed grid: tuple i of r lands in
+// partition PartitionOf(r.Keys[i]), keeping its original (RID, Key) pair,
+// and tuples within a partition preserve their relative order in r. The
+// output is a pure function of r — the shard count plays no part — and
+// the returned relations' columns are freshly allocated (they do not
+// alias r).
+func Split(r rel.Relation) [Partitions]rel.Relation {
+	var counts [Partitions]int
+	for _, k := range r.Keys {
+		counts[PartitionOf(k)]++
+	}
+	var out [Partitions]rel.Relation
+	for p, n := range counts {
+		if n == 0 {
+			continue
+		}
+		out[p] = rel.Relation{RIDs: make([]int32, 0, n), Keys: make([]int32, 0, n)}
+	}
+	for i, k := range r.Keys {
+		p := PartitionOf(k)
+		out[p].RIDs = append(out[p].RIDs, r.RIDs[i])
+		out[p].Keys = append(out[p].Keys, k)
+	}
+	return out
+}
+
+// MergeResults reduces per-partition join results in partition order into
+// one Result: match counts, every simulated phase and total time, the cost
+// model's estimates, cache and allocator activity and the zero-copy
+// footprint all sum — the partitions form independent sub-joins, so their
+// simulated times add exactly like a pipeline's serial steps do. Summation
+// runs strictly in slice (partition) order, so the floating-point totals
+// are bit-identical for any shard count and any execution interleaving.
+//
+// Per-partition artifacts that do not aggregate — the ratio vectors,
+// per-step timings, pilot profiles and BasicUnit shares — are left zero in
+// the merged result; they remain meaningful only per partition.
+func MergeResults(parts []*core.Result) *core.Result {
+	if len(parts) == 0 {
+		return &core.Result{}
+	}
+	out := &core.Result{
+		Algo:   parts[0].Algo,
+		Scheme: parts[0].Scheme,
+		Arch:   parts[0].Arch,
+	}
+	for _, r := range parts {
+		if r == nil {
+			continue
+		}
+		out.Matches += r.Matches
+		out.PartitionNS += r.PartitionNS
+		out.BuildNS += r.BuildNS
+		out.ProbeNS += r.ProbeNS
+		out.MergeNS += r.MergeNS
+		out.TransferNS += r.TransferNS
+		out.TotalNS += r.TotalNS
+		out.EstimatedNS += r.EstimatedNS
+		out.LockOverheadNS += r.LockOverheadNS
+		out.EstPartitionNS += r.EstPartitionNS
+		out.EstBuildNS += r.EstBuildNS
+		out.EstProbeNS += r.EstProbeNS
+		out.Cache.Accesses += r.Cache.Accesses
+		out.Cache.Misses += r.Cache.Misses
+		out.ZeroCopyBytes += r.ZeroCopyBytes
+		out.AllocStats.Allocs += r.AllocStats.Allocs
+		out.AllocStats.Words += r.AllocStats.Words
+		out.AllocStats.GlobalAtomics += r.AllocStats.GlobalAtomics
+		out.AllocStats.LocalOps += r.AllocStats.LocalOps
+		out.AllocStats.WastedWords += r.AllocStats.WastedWords
+	}
+	return out
+}

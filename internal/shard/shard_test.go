@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"apujoin/internal/core"
+	"apujoin/internal/rel"
+)
+
+// Split must place every tuple exactly once, in its key's fixed partition,
+// preserving relative order and the original (RID, Key) pairs.
+func TestSplitPartitionsEveryTupleOnce(t *testing.T) {
+	g := rel.Gen{N: 1 << 12, Seed: 3}
+	r := g.Build()
+	parts := Split(r)
+
+	total := 0
+	for p, pr := range parts {
+		total += pr.Len()
+		for i, k := range pr.Keys {
+			if PartitionOf(k) != p {
+				t.Fatalf("partition %d holds key %d owned by partition %d", p, k, PartitionOf(k))
+			}
+			_ = i
+		}
+	}
+	if total != r.Len() {
+		t.Fatalf("split scattered %d of %d tuples", total, r.Len())
+	}
+
+	// Reassembling by walking r and popping from each partition in order
+	// must reproduce the original pairs: order within a partition is r's.
+	var next [Partitions]int
+	for i, k := range r.Keys {
+		p := PartitionOf(k)
+		j := next[p]
+		if parts[p].Keys[j] != k || parts[p].RIDs[j] != r.RIDs[i] {
+			t.Fatalf("tuple %d (rid %d, key %d) not preserved in partition %d slot %d",
+				i, r.RIDs[i], k, p, j)
+		}
+		next[p]++
+	}
+}
+
+// The split is a pure function of the relation: the shard count never
+// appears, so two splits of the same data are deeply equal.
+func TestSplitDeterministic(t *testing.T) {
+	g := rel.Gen{N: 4096, Dist: rel.HighSkew, Seed: 11}
+	r := g.Probe(rel.Gen{N: 4096, Seed: 10}.Build(), 0.5)
+	a, b := Split(r), Split(r)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Split is not deterministic")
+	}
+}
+
+func TestOwnerContiguousAndComplete(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 5, 8} {
+		prev := 0
+		seen := make(map[int]bool)
+		for p := 0; p < Partitions; p++ {
+			o := Owner(p, shards)
+			if o < 0 || o >= shards {
+				t.Fatalf("Owner(%d, %d) = %d out of range", p, shards, o)
+			}
+			if o < prev {
+				t.Fatalf("Owner(%d, %d) = %d is not monotone (prev %d)", p, shards, o, prev)
+			}
+			prev = o
+			seen[o] = true
+		}
+		if len(seen) != shards {
+			t.Fatalf("shards=%d: only %d shards own a partition", shards, len(seen))
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	for _, tc := range [][2]int{{-1, 1}, {0, 1}, {1, 1}, {4, 4}, {Partitions, Partitions}, {Partitions + 5, Partitions}} {
+		if got := Clamp(tc[0]); got != tc[1] {
+			t.Fatalf("Clamp(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}
+
+// MergeResults sums in slice order: merging [a, b] must equal merging
+// [a, b] again bit for bit, and the totals must be the ordered sums.
+func TestMergeResultsOrderedSums(t *testing.T) {
+	a := &core.Result{Matches: 3, TotalNS: 1.25, EstimatedNS: 1}
+	a.BuildNS, a.ProbeNS = 0.5, 0.75
+	a.Cache.Accesses, a.Cache.Misses = 10, 2
+	a.ZeroCopyBytes = 64
+	b := &core.Result{Matches: 4, TotalNS: 2.5, EstimatedNS: 2}
+	b.BuildNS, b.ProbeNS = 1.5, 1.0
+	b.Cache.Accesses, b.Cache.Misses = 20, 5
+	b.ZeroCopyBytes = 128
+
+	m := MergeResults([]*core.Result{a, b, nil})
+	if m.Matches != 7 || m.TotalNS != 3.75 || m.BuildNS != 2.0 || m.ProbeNS != 1.75 {
+		t.Fatalf("bad merge: %+v", m)
+	}
+	if m.Cache.Accesses != 30 || m.Cache.Misses != 7 || m.ZeroCopyBytes != 192 {
+		t.Fatalf("bad counter merge: %+v", m)
+	}
+	again := MergeResults([]*core.Result{a, b, nil})
+	if !reflect.DeepEqual(m, again) {
+		t.Fatal("MergeResults is not deterministic")
+	}
+	if empty := MergeResults(nil); empty.Matches != 0 {
+		t.Fatalf("empty merge: %+v", empty)
+	}
+}
+
+// Per-partition counts over a split must reproduce the whole join's count:
+// equi-join matches never cross partitions.
+func TestSplitPreservesJoinCount(t *testing.T) {
+	bg := rel.Gen{N: 1 << 12, Seed: 21}
+	r := bg.Build()
+	s := rel.Gen{N: 1 << 13, Dist: rel.LowSkew, Seed: 22}.Probe(r, 0.75)
+	want := rel.NaiveJoinCount(r, s)
+
+	rp, sp := Split(r), Split(s)
+	var got int64
+	for p := 0; p < Partitions; p++ {
+		got += rel.NaiveJoinCount(rp[p], sp[p])
+	}
+	if got != want {
+		t.Fatalf("per-partition join count %d != whole-relation count %d", got, want)
+	}
+}

@@ -64,6 +64,14 @@ type PipelineStep = service.PipelineStep
 // statistics). JoinPipeline is synchronous and runs outside the service
 // admission layer, like Join; apujoind's POST /v1/pipeline layers bounded
 // admission on the same primitives.
+//
+// On a sharded engine (WithShards) the chosen order is global — computed
+// once from the full-relation statistics — and each fixed hash partition
+// then runs the whole chain independently before the deterministic
+// per-step merge; every reported number, including PeakIntermediateBytes,
+// is bit-identical for any shard count. Per-step Plan reports are omitted
+// there (each partition plans on its own planner; one PlanInfo cannot
+// represent them).
 func (e *Engine) JoinPipeline(ctx context.Context, p Pipeline, opts ...JoinOption) (*PipelineResult, error) {
 	cfg := applyJoinOptions(opts)
 	spec := service.PipelineSpec{

@@ -1,0 +1,259 @@
+package apujoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"apujoin/internal/catalog"
+	"apujoin/internal/shard"
+)
+
+// shardFixture registers the invariance corpus on eng: a generated build
+// relation, two probe relations of different skew and selectivity, and a
+// tiny bulk-loaded relation small enough that several of the fixed hash
+// partitions are guaranteed empty.
+func shardFixture(t *testing.T, eng *Engine) (tiny Relation) {
+	t.Helper()
+	if _, err := eng.Register("orders", Gen{N: 12000, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RegisterProbe("lineitem", "orders", Gen{N: 15000, Dist: HighSkew, Seed: 6}, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RegisterProbe("returns", "orders", Gen{N: 9000, Dist: LowSkew, Seed: 7}, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	tiny = Gen{N: 3, Seed: 11}.Build()
+	if _, err := eng.Load("tiny", tiny); err != nil {
+		t.Fatal(err)
+	}
+	return tiny
+}
+
+// shardOutcome is everything one engine configuration reports for the
+// fixed invariance workload: full Results and PipelineResults, simulated
+// times included.
+type shardOutcome struct {
+	explicit *Result
+	auto     *Result
+	mixed    *Result
+	tiny     *Result
+	streamed *PipelineResult
+	declared *PipelineResult
+}
+
+func runShardWorkload(t *testing.T, eng *Engine, tiny Relation) *shardOutcome {
+	t.Helper()
+	ctx := context.Background()
+	opts := []JoinOption{WithDelta(0.1), WithPilotItems(1 << 10)}
+	must := func(res *Result, err error) *Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	o := &shardOutcome{}
+	o.explicit = must(eng.Join(ctx, Ref("orders"), Ref("lineitem"),
+		append(opts, WithAlgo(PHJ), WithScheme(PL))...))
+	o.auto = must(eng.Join(ctx, Ref("orders"), Ref("lineitem"), append(opts, WithAuto())...))
+	// A mixed Ref/Inline pair (allowed on every engine) and a join whose
+	// tiny side leaves most hash partitions empty.
+	o.mixed = must(eng.Join(ctx, Ref("orders"), Inline(Gen{N: 15000, Dist: HighSkew, Seed: 6}.
+		Probe(Gen{N: 12000, Seed: 5}.Build(), 0.6)), opts...))
+	o.tiny = must(eng.Join(ctx, Ref("tiny"), Inline(tiny), opts...))
+
+	pr, err := eng.JoinPipeline(ctx, Pipeline{Sources: []Source{
+		Ref("orders"), Ref("lineitem"), Ref("returns"),
+	}}, append(opts, WithAuto())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.streamed = pr
+	pr, err = eng.JoinPipeline(ctx, Pipeline{Sources: []Source{
+		Ref("orders"), Ref("lineitem"), Ref("returns"),
+	}, DeclaredOrder: true}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.declared = pr
+	return o
+}
+
+// TestShardInvariance is the PR's acceptance contract: every number an
+// engine reports — match counts, every simulated time, the pipeline
+// peak-bytes accounting — is bit-identical for shard counts 1, 2 and 4,
+// and for worker counts 1 and GOMAXPROCS. Sharding decides where data
+// lives and which budget it charges, never a computed number. Full
+// Results and PipelineResults are compared with DeepEqual; match counts
+// are additionally grounded against an unsharded engine (match counts
+// are decomposition-independent even though unsharded simulated times
+// legitimately differ).
+func TestShardInvariance(t *testing.T) {
+	unsharded := NewEngine(Workers(2))
+	defer unsharded.Close()
+	tinyRel := shardFixture(t, unsharded)
+	base := runShardWorkload(t, unsharded, tinyRel)
+
+	var ref *shardOutcome
+	var refCfg string
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, shards := range []int{1, 2, 4} {
+			cfg := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			t.Run(cfg, func(t *testing.T) {
+				eng := NewEngine(Workers(workers), WithShards(shards))
+				defer eng.Close()
+				if got := eng.Shards(); got != shards {
+					t.Fatalf("Shards() = %d, want %d", got, shards)
+				}
+				tiny := shardFixture(t, eng)
+				o := runShardWorkload(t, eng, tiny)
+
+				// Grounding: the sharded decomposition finds exactly the
+				// matches the unsharded engine does.
+				for name, pair := range map[string][2]int64{
+					"explicit": {o.explicit.Matches, base.explicit.Matches},
+					"auto":     {o.auto.Matches, base.auto.Matches},
+					"mixed":    {o.mixed.Matches, base.mixed.Matches},
+					"tiny":     {o.tiny.Matches, base.tiny.Matches},
+					"streamed": {o.streamed.Final.Matches, base.streamed.Final.Matches},
+					"declared": {o.declared.Final.Matches, base.declared.Final.Matches},
+				} {
+					if pair[0] != pair[1] {
+						t.Errorf("%s: matches %d, unsharded %d", name, pair[0], pair[1])
+					}
+				}
+				if o.explicit.Matches <= 0 || o.tiny.Matches != 3 {
+					t.Errorf("workload degenerate: explicit %d matches, tiny %d (want 3)",
+						o.explicit.Matches, o.tiny.Matches)
+				}
+
+				if ref == nil {
+					ref, refCfg = o, cfg
+					return
+				}
+				for name, pair := range map[string][2]any{
+					"explicit join Result":          {o.explicit, ref.explicit},
+					"auto join Result":              {o.auto, ref.auto},
+					"mixed-source join Result":      {o.mixed, ref.mixed},
+					"empty-partition Result":        {o.tiny, ref.tiny},
+					"streamed PipelineResult":       {o.streamed, ref.streamed},
+					"declared-order PipelineResult": {o.declared, ref.declared},
+				} {
+					if !reflect.DeepEqual(pair[0], pair[1]) {
+						t.Errorf("%s differs between %s and %s", name, cfg, refCfg)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardInvarianceStats: the aggregate catalog gauge equals the sum of
+// the per-shard gauges, resident bytes match the unsharded ingest, and
+// shard counts above the fixed partition grid clamp rather than fail.
+func TestShardInvarianceStats(t *testing.T) {
+	eng := NewEngine(Workers(2), WithShards(3))
+	defer eng.Close()
+	shardFixture(t, eng)
+
+	st := eng.svc.Stats()
+	if st.Shards != 3 || len(st.ShardCatalogs) != 3 {
+		t.Fatalf("stats: shards=%d, %d shard catalogs, want 3 and 3", st.Shards, len(st.ShardCatalogs))
+	}
+	var bytes, capacity int64
+	for _, sc := range st.ShardCatalogs {
+		bytes += sc.Bytes
+		capacity += sc.Capacity
+	}
+	if st.Catalog.Bytes != bytes || st.Catalog.Capacity != capacity {
+		t.Errorf("aggregate catalog gauge (%d bytes / %d cap) != shard sum (%d / %d)",
+			st.Catalog.Bytes, st.Catalog.Capacity, bytes, capacity)
+	}
+	if st.Catalog.Relations != 4 {
+		t.Errorf("catalog relations = %d, want 4", st.Catalog.Relations)
+	}
+	// (12000 + 15000 + 9000 + 3) tuples × 8 bytes, wherever the split put them.
+	if want := int64(12000+15000+9000+3) * 8; bytes != want {
+		t.Errorf("resident bytes = %d, want %d", bytes, want)
+	}
+
+	over := NewEngine(Workers(1), WithShards(shard.Partitions*4))
+	defer over.Close()
+	if got := over.Shards(); got != shard.Partitions {
+		t.Errorf("oversized shard count: Shards() = %d, want clamp to %d", got, shard.Partitions)
+	}
+}
+
+// TestShardedEngineCloseNoGoroutineLeaks: closing a sharded engine with
+// joins and pipelines just finished reclaims every goroutine the router
+// fan-out started.
+func TestShardedEngineCloseNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	eng := NewEngine(Workers(4), WithShards(4))
+	tiny := shardFixture(t, eng)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = eng.Join(context.Background(), Ref("orders"), Ref("lineitem"),
+				WithDelta(0.25), WithPilotItems(1<<8))
+			_, _ = eng.JoinPipeline(context.Background(), Pipeline{Sources: []Source{
+				Ref("orders"), Ref("lineitem"), Ref("returns"),
+			}}, WithDelta(0.25), WithPilotItems(1<<8))
+		}()
+	}
+	wg.Wait()
+	_ = tiny
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after Close: %d, want <= %d", g, before)
+	}
+}
+
+// TestShardedEngineSurface covers the sharded facade's documented edges:
+// probes anchored on bulk-loaded relations are rejected (no spec to
+// regenerate from), JoinExternal refuses catalog references, and Drop
+// unbinds across every shard.
+func TestShardedEngineSurface(t *testing.T) {
+	eng := NewEngine(Workers(2), WithShards(2))
+	defer eng.Close()
+	shardFixture(t, eng)
+
+	if _, err := eng.RegisterProbe("p", "tiny", Gen{N: 100, Seed: 1}, 1.0); err == nil {
+		t.Error("probe of a bulk-loaded relation registered on a sharded engine, want error")
+	}
+	// Probe-of-probe regenerates the whole chain.
+	if _, err := eng.RegisterProbe("chained", "lineitem", Gen{N: 500, Seed: 9}, 0.5); err != nil {
+		t.Errorf("probe of a probe: %v", err)
+	}
+	if _, err := eng.JoinExternal(context.Background(), Ref("orders"), Ref("lineitem")); err == nil {
+		t.Error("JoinExternal accepted catalog references on a sharded engine, want error")
+	}
+
+	if err := eng.Drop("lineitem"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Join(context.Background(), Ref("orders"), Ref("lineitem")); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("join after sharded drop: err %v, want catalog.ErrNotFound", err)
+	}
+	if err := eng.Drop("lineitem"); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("double sharded drop: err %v, want catalog.ErrNotFound", err)
+	}
+}
