@@ -14,7 +14,7 @@ BENCH_TOL ?= 0.25
 
 BENCHJSON := /tmp/apujoin-benchjson
 
-.PHONY: all build test race bench bench-json bench-check bench-refresh coverage fuzz lint lint-install fmt vet check
+.PHONY: all build test race bench bench-json bench-check bench-refresh coverage fuzz lint lint-install fmt vet docs-check check
 
 # Budget for the randomized join-oracle fuzz smoke (the committed seed
 # corpus under testdata/fuzz additionally runs as plain unit tests).
@@ -127,5 +127,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Documentation gate: every relative link and heading fragment in the
+# repository's Markdown must resolve (see cmd/docscheck). Runs in CI's
+# docs job so documentation cannot silently drift from the tree.
+docs-check:
+	$(GO) run ./cmd/docscheck
+
 # Everything CI runs, in the same order.
-check: fmt vet lint build race
+check: fmt vet lint build race docs-check

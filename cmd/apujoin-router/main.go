@@ -1,0 +1,158 @@
+// Command apujoin-router fans the apujoind /v1 surface out over a network
+// cluster of apujoind shard servers. It speaks the exact same HTTP/JSON
+// contract as a single apujoind — clients cannot tell the difference — and
+// the results are bit-identical to a single-process engine for any cluster
+// size: relation registrations split by the fixed hash-partition grid, every
+// join and pipeline fans out to all shard servers, and the raw per-partition
+// results merge locally in fixed partition order.
+//
+//	apujoind -addr :8431 -shards 4 &
+//	apujoind -addr :8432 -shards 4 &
+//	apujoin-router -addr :8430 -cluster http://localhost:8431,http://localhost:8432
+//
+// Every shard server must run with -shards >= 1 (the per-partition transport
+// the router depends on is a sharded-engine feature) and should be reachable
+// before the first query; a background health checker probes /healthz and a
+// query that needs a marked-down shard fails fast with a structured 503
+// (code "shard_down") instead of hanging. GET /v1/stats adds a "cluster"
+// section with per-shard health and traffic gauges.
+//
+// Deployment recipes, the flag reference and the failure-mode table live in
+// docs/OPERATIONS.md; the wire contract in docs/API.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"apujoin/internal/httpapi"
+	"apujoin/internal/service"
+	"apujoin/internal/shard"
+)
+
+// parseCluster validates the -cluster flag: 1..shard.Partitions comma-
+// separated http(s) base URLs. More servers than partitions would leave the
+// excess forever idle (a partition has exactly one owner), so that is a
+// configuration error, not a silent truncation.
+func parseCluster(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, errors.New("missing -cluster (comma-separated shard server base URLs)")
+	}
+	var addrs []string
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard URL %q: %w", raw, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("bad shard URL %q: need http(s)://host[:port]", raw)
+		}
+		addrs = append(addrs, strings.TrimRight(raw, "/"))
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("-cluster lists no shard servers")
+	}
+	if len(addrs) > shard.Partitions {
+		return nil, fmt.Errorf("-cluster lists %d servers but the partition grid has only %d partitions; extra servers would never own one", len(addrs), shard.Partitions)
+	}
+	return addrs, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8430", "listen address")
+	clusterSpec := flag.String("cluster", "", "comma-separated shard server base URLs, e.g. http://host1:8417,http://host2:8417 (1..8 servers; each must run apujoind -shards >= 1)")
+	workers := flag.Int("workers", 0, "resident pool size for request bookkeeping (0 = GOMAXPROCS)")
+	maxConc := flag.Int("max-concurrent", 0, "queries in flight across the cluster at once (0 = half the pool, min 2)")
+	queue := flag.Int("queue", 64, "admission queue capacity")
+	keep := flag.Int("keep", 1024, "finished queries retained for polling")
+	maxTuples := flag.Int("max-tuples", 1<<24, "largest accepted relation size")
+	maxBody := flag.Int64("max-body", 32<<20, "largest accepted request body in bytes")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-shard-request timeout; a query on a dead shard fails within this bound")
+	retries := flag.Int("retries", 2, "retries for idempotent (GET) shard requests; mutations never retry (-1 disables)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base backoff between retries (exponential, jittered)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "period of the background /healthz probe per shard")
+	healthFailures := flag.Int("health-failures", 3, "consecutive probe failures before a shard is marked down")
+	flag.Parse()
+
+	addrs, err := parseCluster(*clusterSpec)
+	if err != nil {
+		log.Fatalf("apujoin-router: %v", err)
+	}
+	if *workers < 0 {
+		log.Fatalf("apujoin-router: -workers %d is negative; use 0 for GOMAXPROCS", *workers)
+	}
+	if *queue < 1 || *keep < 1 || *maxTuples < 1 || *maxBody < 1 {
+		log.Fatalf("apujoin-router: -queue, -keep, -max-tuples and -max-body must be >= 1")
+	}
+	if *timeout <= 0 || *backoff <= 0 || *healthInterval <= 0 || *healthFailures < 1 {
+		log.Fatalf("apujoin-router: -timeout, -backoff and -health-interval must be positive and -health-failures >= 1")
+	}
+	if *maxConc == 0 {
+		w := *workers
+		if w == 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		*maxConc = w / 2
+		if *maxConc < 2 {
+			*maxConc = 2
+		}
+	}
+	// service.Config.ClusterRetries reads 0 as "use the default"; the flag
+	// reads -1 as "disable", which the config spells as a negative value.
+	clusterRetries := *retries
+	if clusterRetries <= 0 {
+		clusterRetries = -1
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *queue,
+		KeepResults:    *keep,
+		Cluster:        addrs,
+		ClusterTimeout: *timeout,
+		ClusterRetries: clusterRetries,
+		ClusterBackoff: *backoff,
+		HealthInterval: *healthInterval,
+		HealthFailures: *healthFailures,
+		Logf:           log.Printf,
+	})
+
+	handler := httpapi.New(svc, httpapi.Config{MaxTuples: *maxTuples, MaxBody: *maxBody})
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("apujoin-router: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	log.Printf("apujoin-router: listening on %s, routing %d/%d partitions-per-shard across %d shard servers: %s",
+		*addr, shard.Partitions/len(addrs), shard.Partitions, len(addrs), strings.Join(addrs, ", "))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Drain: running fan-outs finish or time out, queued queries cancel,
+	// the health checker stops.
+	_ = svc.Close()
+	log.Printf("apujoin-router: drained %d queries, bye", svc.Stats().Completed)
+}

@@ -17,9 +17,10 @@
 // fields for one release), failures carry {"error": {"code", "message"}}
 // with a deprecated top-level "status" mirror.
 //
-// Endpoints:
+// Endpoints (the full wire reference lives in docs/API.md):
 //
 //	POST   /v1/join        submit a join; {"wait":true} blocks for the result
+//	POST   /v1/pipeline    submit a multi-way join pipeline (2..16 sources)
 //	POST   /v1/batch       submit many joins in one admission transaction
 //	GET    /v1/query?id=   poll one query
 //	DELETE /v1/query?id=   cancel one query
@@ -39,6 +40,10 @@
 // Inline generation specs are still accepted:
 //
 //	curl -s localhost:8417/v1/join -d '{"algo":"auto","r":1048576,"s":1048576,"wait":true}'
+//
+// To shard across machines instead of in-process, run one apujoind with
+// -shards >= 1 per machine and put apujoin-router in front of them; the
+// router serves this same /v1 surface (see docs/OPERATIONS.md).
 package main
 
 import (
@@ -53,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"apujoin/internal/httpapi"
 	"apujoin/internal/service"
 )
 
@@ -106,7 +112,7 @@ func main() {
 		ShardBudget:   *shardBudget,
 	})
 
-	handler := newServer(svc, serverConfig{maxTuples: *maxTuples, maxBody: *maxBody})
+	handler := httpapi.New(svc, httpapi.Config{MaxTuples: *maxTuples, MaxBody: *maxBody})
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

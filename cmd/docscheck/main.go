@@ -1,0 +1,174 @@
+// Command docscheck keeps the repository's Markdown documentation honest:
+// it walks every tracked .md file and verifies that relative links resolve
+// to files that exist and that fragment links (#heading) point at headings
+// that exist in the target document. External http(s) links are not
+// fetched — CI has no network guarantee — only checked for well-formedness.
+//
+//	go run ./cmd/docscheck            # check the working tree
+//	go run ./cmd/docscheck -root dir  # check another tree
+//
+// Exit status 1 lists every broken link as file:line: message, so the
+// docs CI job fails with an actionable report when documentation drifts
+// from the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Images share the
+// syntax; the leading "!" does not change the target rules.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings; the captured text anchors fragments.
+var headingRE = regexp.MustCompile("^#{1,6}\\s+(.*?)\\s*#*\\s*$")
+
+// codeFenceRE matches the start or end of a fenced code block; links
+// inside fences are examples, not navigation.
+var codeFenceRE = regexp.MustCompile("^\\s*(```|~~~)")
+
+// anchorOf reproduces the GitHub heading-to-anchor rule closely enough for
+// this repository: lowercase, inline code and emphasis markers dropped,
+// spaces to dashes, everything outside [a-z0-9_-] removed.
+func anchorOf(heading string) string {
+	s := strings.ToLower(heading)
+	s = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-' || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// doc is one parsed Markdown file: its anchors and its outgoing links.
+type doc struct {
+	anchors map[string]bool
+	links   []link
+}
+
+type link struct {
+	line   int
+	target string
+}
+
+func parseDoc(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &doc{anchors: map[string]bool{}}
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if codeFenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRE.FindStringSubmatch(line); m != nil {
+			d.anchors[anchorOf(m[1])] = true
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			d.links = append(d.links, link{line: i + 1, target: m[1]})
+		}
+	}
+	return d, nil
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	// Pass 1: parse every Markdown file, collecting anchors and links.
+	docs := map[string]*doc{}
+	err := filepath.WalkDir(*root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := e.Name()
+		if e.IsDir() {
+			// Skip VCS internals and vendored/related trees: only the
+			// repository's own documentation is under contract.
+			if name == ".git" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		d, err := parseDoc(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(*root, path)
+		if err != nil {
+			return err
+		}
+		docs[filepath.ToSlash(rel)] = d
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Pass 2: resolve every link against the collected tree.
+	broken := 0
+	fail := func(file string, ln int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", file, ln, fmt.Sprintf(format, args...))
+		broken++
+	}
+	for file, d := range docs {
+		for _, l := range d.links {
+			t := l.target
+			switch {
+			case strings.HasPrefix(t, "http://"), strings.HasPrefix(t, "https://"):
+				if _, err := url.Parse(t); err != nil {
+					fail(file, l.line, "malformed URL %q: %v", t, err)
+				}
+			case strings.HasPrefix(t, "mailto:"):
+				// Out of scope.
+			case strings.HasPrefix(t, "#"):
+				if !d.anchors[strings.TrimPrefix(t, "#")] {
+					fail(file, l.line, "fragment %q matches no heading in this file", t)
+				}
+			default:
+				path, frag, _ := strings.Cut(t, "#")
+				resolved := filepath.ToSlash(filepath.Join(filepath.Dir(file), path))
+				abs := filepath.Join(*root, filepath.FromSlash(resolved))
+				if _, err := os.Stat(abs); err != nil {
+					fail(file, l.line, "link target %q does not exist (resolved %q)", t, resolved)
+					continue
+				}
+				if frag != "" {
+					target, ok := docs[resolved]
+					if !ok {
+						fail(file, l.line, "fragment link %q into a non-Markdown file", t)
+						continue
+					}
+					if !target.anchors[frag] {
+						fail(file, l.line, "fragment %q matches no heading in %q", "#"+frag, resolved)
+					}
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) across %d file(s)\n", broken, len(docs))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d files, all links resolve\n", len(docs))
+}

@@ -1,4 +1,17 @@
-package main
+// Package httpapi serves the /v1 HTTP surface over one service.Service.
+// Both daemons mount it: apujoind serves it over a local engine (optionally
+// sharded in-process), and apujoin-router serves the identical surface over
+// a cluster-backed service that fans out to remote apujoind shard servers.
+// One handler, one wire contract (documented in docs/API.md), three
+// deployment shapes.
+//
+// Success responses use the unified envelope {"result": …} (top-level
+// mirrors of the payload fields remain for one release — deprecated);
+// failures return {"error": {"code", "message"}} with a stable machine-
+// readable code. Cluster-specific failures surface as code "shard_down"
+// with HTTP 503: a query that needs a downed shard fails fast and
+// structured, never by hanging.
+package httpapi
 
 import (
 	"context"
@@ -10,197 +23,38 @@ import (
 	"strings"
 
 	"apujoin/internal/catalog"
+	"apujoin/internal/cluster"
 	"apujoin/internal/core"
 	"apujoin/internal/rel"
 	"apujoin/internal/service"
+	"apujoin/internal/service/api"
 )
 
-// serverConfig bounds what the HTTP surface accepts.
-type serverConfig struct {
-	// maxTuples is the largest accepted relation size (generated or
+// Config bounds what the HTTP surface accepts.
+type Config struct {
+	// MaxTuples is the largest accepted relation size (generated or
 	// uploaded).
-	maxTuples int
-	// maxBody bounds every request body via http.MaxBytesReader; oversize
+	MaxTuples int
+	// MaxBody bounds every request body via http.MaxBytesReader; oversize
 	// bodies get a structured 413.
-	maxBody int64
+	MaxBody int64
 }
 
-func (c *serverConfig) setDefaults() {
-	if c.maxTuples <= 0 {
-		c.maxTuples = 1 << 24
+func (c *Config) setDefaults() {
+	if c.MaxTuples <= 0 {
+		c.MaxTuples = 1 << 24
 	}
-	if c.maxBody <= 0 {
-		c.maxBody = 32 << 20
+	if c.MaxBody <= 0 {
+		c.MaxBody = 32 << 20
 	}
 }
 
-// joinRequest is the JSON body of POST /v1/join and each element of a
-// batch. A join either references registered relations (r_name/s_name —
-// both or neither) or carries an inline generation spec; absent inline
-// fields pick the paper's defaults (SHJ, PL, coupled, 1M ⋈ 1M uniform,
-// selectivity 1). Sel and Seed are pointers so an explicit 0 — a valid
-// selectivity and a valid seed — is distinguishable from "not set".
-type joinRequest struct {
-	// RName/SName reference relations registered via POST /v1/relations;
-	// the service pins both for the query's lifetime and reuses their
-	// ingest-time statistics in the planner fingerprint.
-	RName string `json:"r_name"`
-	SName string `json:"s_name"`
-
-	Algo      string   `json:"algo"`   // shj | phj | auto (planner decides algo+scheme)
-	Scheme    string   `json:"scheme"` // cpu | gpu | ol | dd | pl | basicunit | coarsepl; ignored with algo=auto
-	Arch      string   `json:"arch"`   // coupled | discrete
-	R         int      `json:"r"`      // build tuples (inline generation)
-	S         int      `json:"s"`      // probe tuples (inline generation)
-	Sel       *float64 `json:"sel"`    // selectivity [0,1]
-	Skew      string   `json:"skew"`   // uniform | low | high
-	Seed      *int64   `json:"seed"`
-	Separate  bool     `json:"separate"`
-	Grouping  bool     `json:"grouping"`
-	Delta     float64  `json:"delta"`
-	CountOnly bool     `json:"count_only"`
-	// Wait blocks the request until the query finishes and returns the
-	// full result; otherwise the response carries the query id to poll.
-	Wait bool `json:"wait"`
-}
-
-// maxPipelineSources bounds how many sources one pipeline may join: each
-// extra source is a full pairwise join plus a materialized intermediate.
-const maxPipelineSources = 16
-
-// pipelineSource is one input of POST /v1/pipeline: a registered relation
-// (name) or an inline build-relation generator spec (n, skew, seed,
-// key_range — keys a permutation of [1, key_range], so sources generated
-// over the same key range join meaningfully).
-type pipelineSource struct {
-	Name string `json:"name"`
-
-	N        int    `json:"n"`
-	Skew     string `json:"skew"`
-	Seed     *int64 `json:"seed"`
-	KeyRange int    `json:"key_range"`
-}
-
-// pipelineRequest is the JSON body of POST /v1/pipeline: a multi-way join
-// over 2..maxPipelineSources sources executed as a chain of pairwise joins.
-// The per-step options mirror /v1/join; algo=auto lets the planner decide
-// each step. Unless declared_order is set, the cost-based orderer picks the
-// cheapest left-deep order from the catalog's ingest statistics (inline
-// sources carry none and force declaration order).
-type pipelineRequest struct {
-	Sources       []pipelineSource `json:"sources"`
-	Algo          string           `json:"algo"`
-	Scheme        string           `json:"scheme"`
-	Arch          string           `json:"arch"`
-	DeclaredOrder bool             `json:"declared_order"`
-	// Materialized routes every intermediate through the catalog (pinned
-	// and charged until the pipeline finishes) instead of the default
-	// streamed hand-off; results are identical, only the resident footprint
-	// differs.
-	Materialized bool    `json:"materialized"`
-	Separate     bool    `json:"separate"`
-	Grouping     bool    `json:"grouping"`
-	Delta        float64 `json:"delta"`
-	CountOnly    bool    `json:"count_only"`
-	Wait         bool    `json:"wait"`
-}
-
-// pipelineStepReport is one executed pairwise step of a pipeline response.
-type pipelineStepReport struct {
-	Build       string      `json:"build"`
-	Probe       string      `json:"probe"`
-	BuildTuples int         `json:"build_tuples"`
-	ProbeTuples int         `json:"probe_tuples"`
-	Matches     int64       `json:"matches"`
-	TotalMS     float64     `json:"total_ms"`
-	Plan        *planReport `json:"plan,omitempty"`
-}
-
-// pipelineReport is the pipeline section of a joinResponse: the executed
-// order and the per-step breakdown. The enclosing response's matches is the
-// final multi-way count and its total_ms sums the serial chain.
-type pipelineReport struct {
-	Sources            int                  `json:"sources"`
-	Ordered            bool                 `json:"ordered"`
-	Streamed           bool                 `json:"streamed"`
-	Order              []int                `json:"order"`
-	Steps              []pipelineStepReport `json:"steps"`
-	IntermediateTuples int64                `json:"intermediate_tuples"`
-	IntermediateBytes  int64                `json:"intermediate_bytes"`
-	// PeakIntermediateBytes is the pipeline's resident intermediate
-	// high-water mark: at most one transient intermediate when streamed,
-	// every intermediate plus its catalog statistics when materialized.
-	PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
-}
-
-// batchRequest is the JSON body of POST /v1/batch: many joins admitted in
-// one transaction (all-or-nothing; a full queue rejects the whole batch).
-type batchRequest struct {
-	Queries []joinRequest `json:"queries"`
-	// Wait blocks until every query of the batch finishes.
-	Wait bool `json:"wait"`
-}
-
-// batchResponse reports a batch, element i describing Queries[i].
-type batchResponse struct {
-	Queries []joinResponse `json:"queries"`
-}
-
-// relationRequest is the JSON body of POST /v1/relations. Exactly one of
-// three forms: a build-relation generator spec (n, skew, seed, key_range),
-// a probe generator spec against a registered build relation (probe_of,
-// sel plus the generator fields), or a bulk upload (keys, optional rids).
-type relationRequest struct {
-	Name string `json:"name"`
-
-	// Generator spec.
-	N        int    `json:"n"`
-	Skew     string `json:"skew"`
-	Seed     *int64 `json:"seed"`
-	KeyRange int    `json:"key_range"`
-
-	// Probe spec: generate against this registered build relation with
-	// the given match selectivity.
-	ProbeOf string   `json:"probe_of"`
-	Sel     *float64 `json:"sel"`
-
-	// Bulk upload.
-	Keys []int32 `json:"keys"`
-	RIDs []int32 `json:"rids"`
-}
-
-// joinResponse reports a finished (or submitted) query.
-type joinResponse struct {
-	ID       int64           `json:"id"`
-	State    string          `json:"state"`
-	Matches  int64           `json:"matches,omitempty"`
-	TotalMS  float64         `json:"total_ms,omitempty"`
-	Phases   *phaseReport    `json:"phases,omitempty"`
-	Plan     *planReport     `json:"plan,omitempty"`
-	Pipeline *pipelineReport `json:"pipeline,omitempty"`
-	WallMS   float64         `json:"wall_ms,omitempty"`
-	Error    string          `json:"error,omitempty"`
-}
-
-// planReport is the planner's decision for an algo=auto query.
-type planReport struct {
-	Algo        string  `json:"algo"`
-	Scheme      string  `json:"scheme"`
-	Cache       string  `json:"cache"` // "hit" | "miss"
-	PredictedMS float64 `json:"predicted_ms"`
-}
-
-type phaseReport struct {
-	PartitionMS float64 `json:"partition_ms"`
-	BuildMS     float64 `json:"build_ms"`
-	ProbeMS     float64 `json:"probe_ms"`
-	MergeMS     float64 `json:"merge_ms"`
-	TransferMS  float64 `json:"transfer_ms"`
-}
-
-// parseJoin turns one joinRequest into a service.JoinSpec, generating
-// inline data when the request does not reference the catalog.
-func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
+// parseJoin turns one api.JoinRequest into a service.JoinSpec. On a local
+// service inline data is generated here; on a clustered service the
+// validated request is forwarded verbatim instead (every shard server
+// generates the same full relations from the same spec), so the router
+// never materializes inline tuples itself.
+func parseJoin(req api.JoinRequest, cfg Config, svc *service.Service) (service.JoinSpec, error) {
 	var spec service.JoinSpec
 	var err error
 
@@ -225,6 +79,20 @@ func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
 	spec.Opt.Delta = req.Delta
 	spec.Opt.CountOnly = req.CountOnly
 
+	// per_partition is the cluster transport: a sharded server answers it
+	// with the raw per-partition result vector. A cluster router rejects it
+	// — it is not a shard server, and chaining routers is not supported.
+	if req.PerPartition {
+		if svc.Clustered() {
+			return spec, errors.New("per_partition is the cluster transport of shard servers; this router is not a shard server")
+		}
+		if !svc.Sharded() {
+			return spec, errors.New("per_partition requires a sharded server (-shards >= 1)")
+		}
+		spec.KeepPartitions = true
+	}
+	spec.Workload = req.Workload
+
 	if req.RName != "" || req.SName != "" {
 		if req.RName == "" || req.SName == "" {
 			return spec, fmt.Errorf("set both r_name and s_name or neither (r_name %q, s_name %q)", req.RName, req.SName)
@@ -233,6 +101,9 @@ func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
 			return spec, fmt.Errorf("inline generation fields (r, s, sel, seed, skew) conflict with r_name/s_name")
 		}
 		spec.RName, spec.SName = req.RName, req.SName
+		if svc.Clustered() {
+			spec.Forward = &req
+		}
 		return spec, nil
 	}
 
@@ -250,8 +121,8 @@ func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
 	if nr < 0 || ns < 0 {
 		return spec, fmt.Errorf("negative relation size r=%d s=%d", nr, ns)
 	}
-	if nr > maxTuples || ns > maxTuples {
-		return spec, fmt.Errorf("relation size exceeds -max-tuples %d", maxTuples)
+	if nr > cfg.MaxTuples || ns > cfg.MaxTuples {
+		return spec, fmt.Errorf("relation size exceeds -max-tuples %d", cfg.MaxTuples)
 	}
 	sel := 1.0
 	if req.Sel != nil {
@@ -264,22 +135,31 @@ func parseJoin(req joinRequest, maxTuples int) (service.JoinSpec, error) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	if svc.Clustered() {
+		// Validated, not generated: the shard servers generate the same
+		// full relations from the forwarded spec (their own defaults match
+		// the ones applied above).
+		spec.Forward = &req
+		return spec, nil
+	}
 	spec.R = rel.Gen{N: nr, Dist: dist, Seed: seed}.Build()
 	spec.S = rel.Gen{N: ns, Dist: dist, Seed: seed + 1}.Probe(spec.R, sel)
 	return spec, nil
 }
 
-// parsePipeline turns a pipelineRequest into a service.PipelineSpec,
-// resolving names later (admission time) and generating inline sources now.
-func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, error) {
+// parsePipeline turns an api.PipelineRequest into a service.PipelineSpec,
+// resolving names later (admission time). Inline sources generate now on a
+// local service; a clustered service forwards the validated request and
+// lets every shard server generate identically.
+func parsePipeline(req api.PipelineRequest, cfg Config, svc *service.Service) (service.PipelineSpec, error) {
 	var spec service.PipelineSpec
 	var err error
 
 	if len(req.Sources) < 2 {
 		return spec, fmt.Errorf("a pipeline needs at least 2 sources (got %d)", len(req.Sources))
 	}
-	if len(req.Sources) > maxPipelineSources {
-		return spec, fmt.Errorf("pipeline of %d sources exceeds the limit of %d", len(req.Sources), maxPipelineSources)
+	if len(req.Sources) > api.MaxPipelineSources {
+		return spec, fmt.Errorf("pipeline of %d sources exceeds the limit of %d", len(req.Sources), api.MaxPipelineSources)
 	}
 	spec.Auto = strings.EqualFold(req.Algo, "auto")
 	if !spec.Auto {
@@ -302,6 +182,17 @@ func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, er
 	spec.DeclaredOrder = req.DeclaredOrder
 	spec.Materialized = req.Materialized
 
+	if req.PerPartition {
+		if svc.Clustered() {
+			return spec, errors.New("per_partition is the cluster transport of shard servers; this router is not a shard server")
+		}
+		if !svc.Sharded() {
+			return spec, errors.New("per_partition requires a sharded server (-shards >= 1)")
+		}
+		spec.KeepPartitions = true
+	}
+	spec.FirstWorkload = req.FirstWorkload
+
 	for i, src := range req.Sources {
 		if src.Name != "" {
 			if src.N != 0 || src.Seed != nil || src.Skew != "" || src.KeyRange != 0 {
@@ -318,15 +209,21 @@ func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, er
 		if n < 0 {
 			return spec, fmt.Errorf("source %d of %d: negative relation size n=%d", i+1, len(req.Sources), n)
 		}
-		if n > maxTuples {
-			return spec, fmt.Errorf("source %d of %d: relation size %d exceeds -max-tuples %d", i+1, len(req.Sources), n, maxTuples)
+		if n > cfg.MaxTuples {
+			return spec, fmt.Errorf("source %d of %d: relation size %d exceeds -max-tuples %d", i+1, len(req.Sources), n, cfg.MaxTuples)
 		}
-		if src.KeyRange < 0 || src.KeyRange > maxTuples {
-			return spec, fmt.Errorf("source %d of %d: key_range %d out of [0, -max-tuples %d]", i+1, len(req.Sources), src.KeyRange, maxTuples)
+		if src.KeyRange < 0 || src.KeyRange > cfg.MaxTuples {
+			return spec, fmt.Errorf("source %d of %d: key_range %d out of [0, -max-tuples %d]", i+1, len(req.Sources), src.KeyRange, cfg.MaxTuples)
 		}
 		dist, err := rel.ParseDistribution(src.Skew)
 		if err != nil {
 			return spec, fmt.Errorf("source %d of %d: %w", i+1, len(req.Sources), err)
+		}
+		if svc.Clustered() {
+			// Validated only; the cluster backend pins the positional seed
+			// default before reordering and forwards the source spec.
+			spec.Sources = append(spec.Sources, service.PipelineSource{})
+			continue
 		}
 		seed := int64(42) + int64(i)
 		if src.Seed != nil {
@@ -335,18 +232,21 @@ func parsePipeline(req pipelineRequest, maxTuples int) (service.PipelineSpec, er
 		g := rel.Gen{N: n, Dist: dist, Seed: seed, KeyRange: src.KeyRange}
 		spec.Sources = append(spec.Sources, service.PipelineSource{Rel: g.Build()})
 	}
+	if svc.Clustered() {
+		spec.Forward = &req
+	}
 	return spec, nil
 }
 
-func response(q *service.Query) joinResponse {
+func response(q *service.Query) api.JoinResponse {
 	info := q.Snapshot()
-	resp := joinResponse{ID: info.ID, State: info.State, Error: info.Error}
+	resp := api.JoinResponse{ID: info.ID, State: info.State, Error: info.Error}
 	if info.Plan != nil {
 		cache := "miss"
 		if info.Plan.CacheHit {
 			cache = "hit"
 		}
-		resp.Plan = &planReport{
+		resp.Plan = &api.PlanReport{
 			Algo:        info.Plan.Algo,
 			Scheme:      info.Plan.Scheme,
 			Cache:       cache,
@@ -356,7 +256,7 @@ func response(q *service.Query) joinResponse {
 	if res, err, ok := q.Result(); ok && err == nil && res != nil {
 		resp.Matches = res.Matches
 		resp.TotalMS = res.TotalNS / 1e6
-		resp.Phases = &phaseReport{
+		resp.Phases = &api.PhaseReport{
 			PartitionMS: res.PartitionNS / 1e6,
 			BuildMS:     res.BuildNS / 1e6,
 			ProbeMS:     res.ProbeNS / 1e6,
@@ -365,11 +265,16 @@ func response(q *service.Query) joinResponse {
 		}
 		resp.WallMS = float64(info.WallNS) / 1e6
 	}
+	// The raw per-partition vector of a per_partition join — the cluster
+	// transport. Raw nanosecond floats, never the ms conversions above.
+	for _, pr := range q.Partitions() {
+		resp.Partitions = append(resp.Partitions, api.FromResult(pr))
+	}
 	if pi := info.Pipeline; pi != nil {
 		// For pipelines, total_ms covers the whole serial chain (the
 		// Result and its phases describe the final step alone).
 		resp.TotalMS = info.SimulatedNS / 1e6
-		pr := &pipelineReport{
+		pr := &api.PipelineReport{
 			Sources:               pi.Sources,
 			Ordered:               pi.Ordered,
 			Streamed:              pi.Streamed,
@@ -379,7 +284,7 @@ func response(q *service.Query) joinResponse {
 			PeakIntermediateBytes: pi.PeakIntermediateBytes,
 		}
 		for _, st := range pi.Steps {
-			sr := pipelineStepReport{
+			sr := api.PipelineStepReport{
 				Build:       st.Build,
 				Probe:       st.Probe,
 				BuildTuples: st.BuildTuples,
@@ -392,7 +297,7 @@ func response(q *service.Query) joinResponse {
 				if st.Plan.CacheHit {
 					cache = "hit"
 				}
-				sr.Plan = &planReport{
+				sr.Plan = &api.PlanReport{
 					Algo:        st.Plan.Algo,
 					Scheme:      st.Plan.Scheme,
 					Cache:       cache,
@@ -401,9 +306,34 @@ func response(q *service.Query) joinResponse {
 			}
 			pr.Steps = append(pr.Steps, sr)
 		}
+		if pipe, ok := q.Pipeline(); ok && pipe.Partitions != nil {
+			pr.Partitions = wirePipelineParts(pipe.Partitions)
+		}
 		resp.Pipeline = pr
 	}
 	return resp
+}
+
+// wirePipelineParts projects a sharded pipeline's raw per-partition
+// breakdown onto its wire transport.
+func wirePipelineParts(pp *service.PipelinePartitions) *api.PipelineParts {
+	wire := &api.PipelineParts{
+		PeakIntermediateBytes: pp.Peak,
+		IntermediateTuples:    pp.InterTuples,
+		IntermediateBytes:     pp.InterBytes,
+	}
+	for t, row := range pp.Steps {
+		stepRow := make([]api.PartitionStep, len(row))
+		for p, r := range row {
+			stepRow[p] = api.PartitionStep{
+				Result:      api.FromResult(r),
+				BuildTuples: pp.BuildTuples[t][p],
+				ProbeTuples: pp.ProbeTuples[t][p],
+			}
+		}
+		wire.Steps = append(wire.Steps, stepRow)
+	}
+	return wire
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -447,7 +377,7 @@ func writeResult(w http.ResponseWriter, status int, v any) {
 //
 // "code" is a stable machine-readable identifier (bad_request, not_found,
 // conflict, no_space, queue_full, closed, too_large, unavailable,
-// internal); "message" is human-readable. Before the envelope
+// shard_down, internal); "message" is human-readable. Before the envelope
 // unification, "error" was the bare message string — clients still
 // matching on it should switch to ".error.code"/".error.message".
 //
@@ -462,9 +392,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // errorCode derives the envelope's stable error code: sentinel errors
 // first (they carry more intent than the status), the status class
-// otherwise.
+// otherwise. Cluster errors come before everything — a remote shard's own
+// code passes through verbatim, and a downed or unreachable shard is
+// always "shard_down".
 func errorCode(status int, err error) string {
+	var se *cluster.ShardError
 	switch {
+	case errors.As(err, &se):
+		return se.Code
+	case errors.Is(err, cluster.ErrShardDown):
+		return "shard_down"
 	case errors.Is(err, service.ErrQueueFull):
 		return "queue_full"
 	case errors.Is(err, service.ErrClosed):
@@ -494,6 +431,21 @@ func errorCode(status int, err error) string {
 	}
 }
 
+// clusterStatus maps a cluster-layer error to its HTTP status; ok is false
+// for non-cluster errors. A downed or unreachable shard is 503 (clients
+// retry once the shard rejoins); a shard's own structured failure passes
+// its remote status through.
+func clusterStatus(err error) (int, bool) {
+	var se *cluster.ShardError
+	if errors.As(err, &se) {
+		return se.Status, true
+	}
+	if errors.Is(err, cluster.ErrShardDown) {
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
+}
+
 // readJSON decodes one bounded JSON request body into dst with unknown
 // fields rejected, writing the structured 400/413 itself on failure.
 func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bool {
@@ -519,6 +471,9 @@ func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bo
 
 // submitStatus maps a submission error to its HTTP status.
 func submitStatus(err error) int {
+	if status, ok := clusterStatus(err); ok {
+		return status
+	}
 	switch {
 	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
 		return http.StatusServiceUnavailable
@@ -529,7 +484,23 @@ func submitStatus(err error) int {
 	}
 }
 
-// newServer builds the HTTP surface over one join service.
+// waitResult writes the terminal response of a waited query: cluster
+// failures surface as structured errors with their mapped status (a
+// downed shard is a 503 "shard_down", never a hang and never a partial
+// result), everything else keeps the result-envelope-with-status shape.
+func waitResult(w http.ResponseWriter, r *http.Request, q *service.Query) {
+	if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
+		if status, ok := clusterStatus(err); ok {
+			writeError(w, status, err)
+			return
+		}
+		writeResult(w, http.StatusInternalServerError, response(q))
+		return
+	}
+	writeResult(w, http.StatusOK, response(q))
+}
+
+// New builds the HTTP surface over one join service.
 //
 // Endpoints:
 //
@@ -542,14 +513,14 @@ func submitStatus(err error) int {
 //	POST   /v1/relations   register a relation (generate or upload)
 //	GET    /v1/relations   list registered relations with their statistics
 //	DELETE /v1/relations?name=  refcounted delete
-//	GET    /v1/stats       service metrics
+//	GET    /v1/stats       service metrics (plus shard health when clustered)
 //	GET    /healthz        liveness
-func newServer(svc *service.Service, cfg serverConfig) http.Handler {
+func New(svc *service.Service, cfg Config) http.Handler {
 	cfg.setDefaults()
 	mux := http.NewServeMux()
 
-	submit := func(w http.ResponseWriter, r *http.Request, req joinRequest) (*service.Query, bool) {
-		spec, err := parseJoin(req, cfg.maxTuples)
+	submit := func(w http.ResponseWriter, r *http.Request, req api.JoinRequest) (*service.Query, bool) {
+		spec, err := parseJoin(req, cfg, svc)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return nil, false
@@ -570,8 +541,8 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 	}
 
 	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
-		var req joinRequest
-		if !readJSON(w, r, cfg.maxBody, &req) {
+		var req api.JoinRequest
+		if !readJSON(w, r, cfg.MaxBody, &req) {
 			return
 		}
 		q, ok := submit(w, r, req)
@@ -582,19 +553,15 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 			writeResult(w, http.StatusAccepted, response(q))
 			return
 		}
-		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
-			writeResult(w, http.StatusInternalServerError, response(q))
-			return
-		}
-		writeResult(w, http.StatusOK, response(q))
+		waitResult(w, r, q)
 	})
 
 	mux.HandleFunc("POST /v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
-		var req pipelineRequest
-		if !readJSON(w, r, cfg.maxBody, &req) {
+		var req api.PipelineRequest
+		if !readJSON(w, r, cfg.MaxBody, &req) {
 			return
 		}
-		spec, err := parsePipeline(req, cfg.maxTuples)
+		spec, err := parsePipeline(req, cfg, svc)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -612,16 +579,12 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 			writeResult(w, http.StatusAccepted, response(q))
 			return
 		}
-		if _, err := q.Wait(r.Context()); err != nil && !isCancel(err) {
-			writeResult(w, http.StatusInternalServerError, response(q))
-			return
-		}
-		writeResult(w, http.StatusOK, response(q))
+		waitResult(w, r, q)
 	})
 
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req batchRequest
-		if !readJSON(w, r, cfg.maxBody, &req) {
+		var req api.BatchRequest
+		if !readJSON(w, r, cfg.MaxBody, &req) {
 			return
 		}
 		if len(req.Queries) == 0 {
@@ -635,7 +598,7 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 					fmt.Errorf("query %d of %d: per-query wait is not supported in a batch; set the batch-level wait", i+1, len(req.Queries)))
 				return
 			}
-			spec, err := parseJoin(jr, cfg.maxTuples)
+			spec, err := parseJoin(jr, cfg, svc)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d of %d: %w", i+1, len(req.Queries), err))
 				return
@@ -661,7 +624,7 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 				}
 			}
 		}
-		resp := batchResponse{Queries: make([]joinResponse, len(qs))}
+		resp := api.BatchResponse{Queries: make([]api.JoinResponse, len(qs))}
 		for i, q := range qs {
 			resp.Queries[i] = response(q)
 		}
@@ -669,11 +632,11 @@ func newServer(svc *service.Service, cfg serverConfig) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/relations", func(w http.ResponseWriter, r *http.Request) {
-		var req relationRequest
-		if !readJSON(w, r, cfg.maxBody, &req) {
+		var req api.RelationRequest
+		if !readJSON(w, r, cfg.MaxBody, &req) {
 			return
 		}
-		info, err := registerRelation(svc, req, cfg.maxTuples)
+		info, err := registerRelation(svc, req, cfg.MaxTuples)
 		if err != nil {
 			writeError(w, relationStatus(err), err)
 			return
@@ -760,11 +723,11 @@ func lookupQuery(w http.ResponseWriter, r *http.Request, svc *service.Service) (
 	return q, true
 }
 
-// registerRelation dispatches a relationRequest to the service's relation
-// surface (the sharded router or the single catalog): bulk upload when
-// keys are present, probe generation when probe_of is set, build
-// generation otherwise.
-func registerRelation(svc *service.Service, req relationRequest, maxTuples int) (catalog.Info, error) {
+// registerRelation dispatches an api.RelationRequest to the service's
+// relation surface (the cluster router, the sharded router or the single
+// catalog): bulk upload when keys are present, probe generation when
+// probe_of is set, build generation otherwise.
+func registerRelation(svc *service.Service, req api.RelationRequest, maxTuples int) (catalog.Info, error) {
 	if req.Name == "" {
 		return catalog.Info{}, errors.New("missing relation name")
 	}
@@ -835,8 +798,13 @@ func registerRelation(svc *service.Service, req relationRequest, maxTuples int) 
 	return svc.RegisterGen(req.Name, g)
 }
 
-// relationStatus maps a catalog error to its HTTP status.
+// relationStatus maps a catalog error to its HTTP status. Cluster errors
+// pass their own status through — a remote shard's 507 stays a 507, a
+// downed shard is a 503.
 func relationStatus(err error) int {
+	if status, ok := clusterStatus(err); ok {
+		return status
+	}
 	switch {
 	case errors.Is(err, catalog.ErrExists):
 		return http.StatusConflict

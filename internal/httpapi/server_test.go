@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -16,10 +16,10 @@ import (
 )
 
 // testServer boots one service + HTTP handler pair for a test.
-func testServer(t *testing.T, opt service.Options, cfg serverConfig) *httptest.Server {
+func testServer(t *testing.T, opt service.Config, cfg Config) *httptest.Server {
 	t.Helper()
 	svc := service.New(opt)
-	ts := httptest.NewServer(newServer(svc, cfg))
+	ts := httptest.NewServer(New(svc, cfg))
 	t.Cleanup(func() {
 		ts.Close()
 		_ = svc.Close()
@@ -70,8 +70,8 @@ func errMsg(resp map[string]any) string {
 // 404 for unknown names and ids, 409 for duplicate registration, 413 for
 // oversized bodies.
 func TestRoutesTable(t *testing.T) {
-	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
-		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 16})
+	ts := testServer(t, service.Config{Workers: 2, MaxConcurrent: 2},
+		Config{MaxTuples: 1 << 20, MaxBody: 1 << 16})
 
 	// Happy-path prologue: register a build + probe pair.
 	if st, resp := do(t, "POST", ts.URL+"/v1/relations",
@@ -219,8 +219,8 @@ func TestRoutesTable(t *testing.T) {
 // registered relations reports the same matches and simulated total as the
 // identical inline-generated join.
 func TestJoinByNameMatchesInline(t *testing.T) {
-	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
-		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+	ts := testServer(t, service.Config{Workers: 2, MaxConcurrent: 2},
+		Config{MaxTuples: 1 << 20, MaxBody: 1 << 20})
 
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":30000,"seed":42}`)
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":30000,"sel":1,"seed":43}`)
@@ -247,8 +247,8 @@ func TestJoinByNameMatchesInline(t *testing.T) {
 // catalog data; wait=true returns every result and identical queries
 // report identical simulated numbers.
 func TestBatchSubmit(t *testing.T) {
-	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
-		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+	ts := testServer(t, service.Config{Workers: 2, MaxConcurrent: 2},
+		Config{MaxTuples: 1 << 20, MaxBody: 1 << 20})
 
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":25000,"seed":1}`)
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":25000,"sel":1,"seed":2}`)
@@ -297,8 +297,8 @@ func TestBatchSubmit(t *testing.T) {
 // plan decisions and the serial-chain total; inline generated sources over
 // a shared key range run in declaration order.
 func TestPipelineEndpoint(t *testing.T) {
-	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 2},
-		serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20})
+	ts := testServer(t, service.Config{Workers: 2, MaxConcurrent: 2},
+		Config{MaxTuples: 1 << 20, MaxBody: 1 << 20})
 
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"orders","n":20000,"seed":1}`)
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"lineitem","probe_of":"orders","n":26000,"sel":0.9,"seed":2}`)
@@ -405,8 +405,8 @@ func TestPipelineEndpoint(t *testing.T) {
 // third concurrent query gets a structured 503; DELETE /v1/query cancels
 // the stuck ones.
 func TestQueueFullAndCancel(t *testing.T) {
-	ts := testServer(t, service.Options{Workers: 2, MaxConcurrent: 1, MaxQueue: 1},
-		serverConfig{maxTuples: 1 << 23, maxBody: 1 << 20})
+	ts := testServer(t, service.Config{Workers: 2, MaxConcurrent: 1, MaxQueue: 1},
+		Config{MaxTuples: 1 << 23, MaxBody: 1 << 20})
 
 	// Big enough to keep the slot busy while the test probes the queue.
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"big","n":4194304,"seed":1}`)
@@ -462,8 +462,8 @@ func TestQueueFullAndCancel(t *testing.T) {
 func TestShutdownNoGoroutineLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	svc := service.New(service.Options{Workers: 4, MaxConcurrent: 2})
-	ts := httptest.NewServer(newServer(svc, serverConfig{maxTuples: 1 << 20, maxBody: 1 << 20}))
+	svc := service.New(service.Config{Workers: 4, MaxConcurrent: 2})
+	ts := httptest.NewServer(New(svc, Config{MaxTuples: 1 << 20, MaxBody: 1 << 20}))
 
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"r","n":20000,"seed":1}`)
 	do(t, "POST", ts.URL+"/v1/relations", `{"name":"s","probe_of":"r","n":20000,"sel":1,"seed":2}`)

@@ -1,0 +1,93 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"apujoin/internal/core"
+	"apujoin/internal/shard"
+)
+
+// sampleResult fills every merge-relevant field with awkward values:
+// non-terminating binary fractions and sums that differ under reordering,
+// so any lossy transport (rounding, pre-summing, ms conversion) breaks the
+// comparison.
+func sampleResult(i int) *core.Result {
+	f := float64(i)
+	r := &core.Result{
+		Algo:           core.PHJ,
+		Scheme:         core.CoarsePL,
+		Arch:           core.Discrete,
+		Matches:        int64(i) * 1001,
+		TotalNS:        0.1 + f*1e7/3,
+		EstimatedNS:    f * 0.3,
+		LockOverheadNS: f * 0.7,
+		EstPartitionNS: f / 3,
+		EstBuildNS:     f / 7,
+		EstProbeNS:     f / 11,
+		ZeroCopyBytes:  int64(i) << 20,
+	}
+	r.PartitionNS = f * 1.1
+	r.BuildNS = f * 2.2
+	r.ProbeNS = f * 3.3
+	r.MergeNS = f * 4.4
+	r.TransferNS = f * 5.5
+	r.Cache.Accesses = int64(i) * 17
+	r.Cache.Misses = int64(i) * 3
+	r.AllocStats.Allocs = int64(i)
+	r.AllocStats.Words = int64(i) * 8
+	r.AllocStats.GlobalAtomics = int64(i) * 2
+	r.AllocStats.LocalOps = int64(i) * 5
+	r.AllocStats.WastedWords = int64(i)
+	return r
+}
+
+// TestPartitionResultRoundTrip checks the cluster transport's core
+// invariant: a per-partition result that crosses the wire as JSON and is
+// rebuilt on the other side merges to the bit-identical Result.
+func TestPartitionResultRoundTrip(t *testing.T) {
+	orig := make([]*core.Result, shard.Partitions)
+	rebuilt := make([]*core.Result, shard.Partitions)
+	for p := range orig {
+		orig[p] = sampleResult(p + 1)
+
+		raw, err := json.Marshal(FromResult(orig[p]))
+		if err != nil {
+			t.Fatalf("marshal partition %d: %v", p, err)
+		}
+		var pr PartitionResult
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatalf("unmarshal partition %d: %v", p, err)
+		}
+		rebuilt[p] = pr.ToResult()
+	}
+	got, want := shard.MergeResults(rebuilt), shard.MergeResults(orig)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged results diverge after wire round-trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWireNamesParse checks every wire name the cluster router may emit
+// parses back to the enum it came from — the String() forms do not all
+// round-trip, which is exactly why these helpers exist.
+func TestWireNamesParse(t *testing.T) {
+	for _, a := range []core.Algo{core.SHJ, core.PHJ} {
+		got, err := core.ParseAlgo(AlgoName(a))
+		if err != nil || got != a {
+			t.Errorf("AlgoName(%v) = %q: parsed to %v, err %v", a, AlgoName(a), got, err)
+		}
+	}
+	for _, s := range []core.Scheme{core.CPUOnly, core.GPUOnly, core.OL, core.DD, core.PL, core.BasicUnit, core.CoarsePL} {
+		got, err := core.ParseScheme(SchemeName(s))
+		if err != nil || got != s {
+			t.Errorf("SchemeName(%v) = %q: parsed to %v, err %v", s, SchemeName(s), got, err)
+		}
+	}
+	for _, a := range []core.Arch{core.Coupled, core.Discrete} {
+		got, err := core.ParseArch(ArchName(a))
+		if err != nil || got != a {
+			t.Errorf("ArchName(%v) = %q: parsed to %v, err %v", a, ArchName(a), got, err)
+		}
+	}
+}

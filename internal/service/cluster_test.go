@@ -1,0 +1,257 @@
+// Cluster invariance tests live in the external test package: they boot
+// real shard servers through internal/httpapi (which imports service), so
+// an in-package test would be an import cycle.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"apujoin/internal/cluster"
+	"apujoin/internal/core"
+	"apujoin/internal/httpapi"
+	"apujoin/internal/rel"
+	"apujoin/internal/service"
+)
+
+// startShardServer boots one apujoind-equivalent shard server: an
+// in-process sharded engine behind the real HTTP surface.
+func startShardServer(t *testing.T, shards int) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2, MaxConcurrent: 2, Shards: shards})
+	ts := httptest.NewServer(httpapi.New(svc, httpapi.Config{}))
+	t.Cleanup(func() {
+		ts.Close()
+		_ = svc.Close()
+	})
+	return ts
+}
+
+// clusterService builds a cluster-backed service over the given shard
+// server URLs, with a fast health probe for test turnaround.
+func clusterService(t *testing.T, addrs []string) *service.Service {
+	t.Helper()
+	svc := service.New(service.Config{
+		Workers:        2,
+		MaxConcurrent:  2,
+		Cluster:        addrs,
+		ClusterTimeout: 60 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		HealthFailures: 2,
+	})
+	t.Cleanup(func() { _ = svc.Close() })
+	return svc
+}
+
+// registerTriple registers the shared test fixtures on a service: one
+// build relation and two probes of it at different selectivities.
+func registerTriple(t *testing.T, svc *service.Service) {
+	t.Helper()
+	if _, err := svc.RegisterGen("orders", rel.Gen{N: 24000, Seed: 7}); err != nil {
+		t.Fatalf("register orders: %v", err)
+	}
+	if _, err := svc.RegisterProbe("lineitem", "orders", rel.Gen{N: 30000, Seed: 8}, 0.8); err != nil {
+		t.Fatalf("register lineitem: %v", err)
+	}
+	if _, err := svc.RegisterProbe("returns", "orders", rel.Gen{N: 9000, Seed: 9}, 0.3); err != nil {
+		t.Fatalf("register returns: %v", err)
+	}
+}
+
+func ddOptions(t *testing.T, algo string) core.Options {
+	t.Helper()
+	a, err := core.ParseAlgo(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Options{Algo: a, Scheme: core.DD, Delta: 0.1}
+}
+
+// TestClusterInvariance is the network half of the shard-count-invariance
+// contract: a cluster of 1, 2 and 4 remote shard servers reports results
+// bit-identical — match counts, every simulated float, pipeline gauges —
+// to the in-process 8-shard engine (itself invariant to the unsharded
+// engine by the router tests).
+func TestClusterInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 7 shard servers")
+	}
+	ctx := context.Background()
+
+	ref := service.New(service.Config{Workers: 2, MaxConcurrent: 2, Shards: 8})
+	t.Cleanup(func() { _ = ref.Close() })
+	registerTriple(t, ref)
+
+	joinSpecs := []service.JoinSpec{
+		{RName: "orders", SName: "lineitem", Opt: ddOptions(t, "phj")},
+		{RName: "orders", SName: "returns", Opt: ddOptions(t, "shj")},
+		{RName: "orders", SName: "lineitem", Auto: true},
+	}
+	pipeSpec := service.PipelineSpec{
+		Sources: []service.PipelineSource{{Name: "orders"}, {Name: "lineitem"}, {Name: "returns"}},
+		Auto:    true,
+	}
+
+	refJoins := make([]*core.Result, len(joinSpecs))
+	for i, sp := range joinSpecs {
+		res, err := ref.RunJoin(ctx, sp)
+		if err != nil {
+			t.Fatalf("reference join %d: %v", i, err)
+		}
+		refJoins[i] = res
+	}
+	refPipe, err := ref.RunPipeline(ctx, pipeSpec)
+	if err != nil {
+		t.Fatalf("reference pipeline: %v", err)
+	}
+
+	for _, servers := range []int{1, 2, 4} {
+		addrs := make([]string, servers)
+		for i := range addrs {
+			// Shard-server-side in-process shard counts deliberately vary:
+			// invariance must hold across them too.
+			addrs[i] = startShardServer(t, 1+i%2).URL
+		}
+		csvc := clusterService(t, addrs)
+		registerTriple(t, csvc)
+
+		for i, sp := range joinSpecs {
+			res, err := csvc.RunJoin(ctx, sp)
+			if err != nil {
+				t.Fatalf("%d servers: join %d: %v", servers, i, err)
+			}
+			if !reflect.DeepEqual(res, refJoins[i]) {
+				t.Errorf("%d servers: join %d diverges from the 8-shard reference:\n cluster %+v\n ref     %+v",
+					servers, i, res, refJoins[i])
+			}
+		}
+
+		pres, err := csvc.RunPipeline(ctx, pipeSpec)
+		if err != nil {
+			t.Fatalf("%d servers: pipeline: %v", servers, err)
+		}
+		if !reflect.DeepEqual(pres, refPipe) {
+			t.Errorf("%d servers: pipeline diverges from the 8-shard reference:\n cluster %+v\n ref     %+v",
+				servers, pres, refPipe)
+		}
+	}
+}
+
+// TestClusterHTTPInlineInvariance drives the HTTP forward path: an inline
+// generation join POSTed to a cluster router reports the same matches and
+// simulated total as the identical request on a stand-alone server (every
+// shard server generates the full relations from the forwarded spec).
+func TestClusterHTTPInlineInvariance(t *testing.T) {
+	single := startShardServer(t, 1)
+
+	addrs := []string{startShardServer(t, 1).URL, startShardServer(t, 2).URL}
+	csvc := clusterService(t, addrs)
+	router := httptest.NewServer(httpapi.New(csvc, httpapi.Config{}))
+	t.Cleanup(router.Close)
+
+	post := func(url, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("POST %s: non-JSON response: %v", url, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	join := `{"algo":"phj","scheme":"dd","delta":0.1,"r":20000,"s":20000,"sel":0.7,"wait":true}`
+	st1, want := post(single.URL+"/v1/join", join)
+	st2, got := post(router.URL+"/v1/join", join)
+	if st1 != 200 || st2 != 200 {
+		t.Fatalf("inline join: single %d %v, router %d %v", st1, want, st2, got)
+	}
+	if got["matches"] != want["matches"] || got["total_ms"] != want["total_ms"] {
+		t.Errorf("router inline join (matches %v, total %v) != single server (matches %v, total %v)",
+			got["matches"], got["total_ms"], want["matches"], want["total_ms"])
+	}
+
+	pipe := `{"algo":"shj","scheme":"dd","delta":0.25,"sources":[{"n":4000,"key_range":4000,"seed":7},{"n":4000,"key_range":4000,"seed":8},{"n":4000,"key_range":4000,"seed":9}],"wait":true}`
+	st1, want = post(single.URL+"/v1/pipeline", pipe)
+	st2, got = post(router.URL+"/v1/pipeline", pipe)
+	if st1 != 200 || st2 != 200 {
+		t.Fatalf("inline pipeline: single %d %v, router %d %v", st1, want, st2, got)
+	}
+	if got["matches"] != want["matches"] || got["total_ms"] != want["total_ms"] {
+		t.Errorf("router inline pipeline (matches %v, total %v) != single server (matches %v, total %v)",
+			got["matches"], got["total_ms"], want["matches"], want["total_ms"])
+	}
+	// The router must not leak its per-partition transport to clients.
+	if _, ok := got["partitions"]; ok {
+		t.Errorf("router response leaks the per-partition transport: %v", got)
+	}
+}
+
+// TestClusterShardDownFailsFast: killing one shard server turns queries
+// into prompt structured failures — cluster.ErrShardDown at the service
+// layer, a 503 with code "shard_down" on the wire — never a hang and never
+// a partial merge. A rejoin is not possible here (the server is gone), so
+// recovery is covered by the pool's own health tests.
+func TestClusterShardDownFailsFast(t *testing.T) {
+	svc1 := service.New(service.Config{Workers: 2, MaxConcurrent: 2, Shards: 1})
+	ts1 := httptest.NewServer(httpapi.New(svc1, httpapi.Config{}))
+	t.Cleanup(func() { ts1.Close(); _ = svc1.Close() })
+	ts2 := startShardServer(t, 1)
+
+	csvc := clusterService(t, []string{ts1.URL, ts2.URL})
+	router := httptest.NewServer(httpapi.New(csvc, httpapi.Config{}))
+	t.Cleanup(router.Close)
+	registerTriple(t, csvc)
+
+	ctx := context.Background()
+	spec := service.JoinSpec{RName: "orders", SName: "lineitem", Opt: ddOptions(t, "phj")}
+	if _, err := csvc.RunJoin(ctx, spec); err != nil {
+		t.Fatalf("join with all shards up: %v", err)
+	}
+
+	ts1.Close()
+
+	// Whether the health checker has marked the shard down yet or the
+	// fan-out hits the refused connection itself, the failure is
+	// ErrShardDown and arrives promptly.
+	start := time.Now()
+	_, err := csvc.RunJoin(ctx, spec)
+	if !errors.Is(err, cluster.ErrShardDown) {
+		t.Fatalf("join with a downed shard: err %v, want cluster.ErrShardDown", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("shard-down failure took %v; the contract is fail-fast", d)
+	}
+
+	resp, err := http.Post(router.URL+"/v1/join", "application/json",
+		bytes.NewReader([]byte(`{"algo":"phj","scheme":"dd","delta":0.1,"r_name":"orders","s_name":"lineitem","wait":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router status with a downed shard: %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "shard_down" || body.Error.Message == "" {
+		t.Errorf("router error envelope: %+v, want code shard_down with a message", body.Error)
+	}
+}

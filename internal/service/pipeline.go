@@ -10,6 +10,7 @@ import (
 	"apujoin/internal/core"
 	"apujoin/internal/plan"
 	"apujoin/internal/rel"
+	"apujoin/internal/service/api"
 )
 
 // ErrPipelineTooShort reports a pipeline with fewer than two sources.
@@ -50,6 +51,20 @@ type PipelineSpec struct {
 	// differ. Set it when a consumer needs catalog-resident intermediates or
 	// to A/B the two paths.
 	Materialized bool
+	// FirstWorkload, when non-nil, overrides the pair workload the planner
+	// fingerprints the FIRST step with (later steps build from
+	// intermediates and measure their partitions). A cluster router sets
+	// it so shard servers plan the first step with the full-relation
+	// statistics despite holding only a subset of each source.
+	FirstWorkload *plan.Workload
+	// KeepPartitions asks a sharded service to retain the raw
+	// per-partition results of every step (PipelineResult.Partitions), as
+	// JoinSpec.KeepPartitions does for joins.
+	KeepPartitions bool
+	// Forward, when non-nil on a clustered service, is the original wire
+	// request to fan out verbatim after validation and ordering, instead
+	// of reconstructing one from the fields above.
+	Forward *api.PipelineRequest
 }
 
 // PipelineStep reports one executed pairwise step of a pipeline.
@@ -104,6 +119,25 @@ type PipelineResult struct {
 	// the number the streamed path exists to shrink: Σ over all steps
 	// becomes max over single steps, with no statistics at all.
 	PeakIntermediateBytes int64
+	// Partitions holds the raw per-partition breakdown when the pipeline
+	// was submitted with PipelineSpec.KeepPartitions on a sharded service
+	// (nil otherwise). A cluster router rebuilds each step's merged result
+	// from these.
+	Partitions *PipelinePartitions
+}
+
+// PipelinePartitions is the raw per-partition breakdown of a sharded
+// pipeline: for each executed step t (0-based) and fixed grid partition p,
+// Steps[t][p] is partition p's pairwise result of that step, with the
+// matching input cardinalities in BuildTuples/ProbeTuples. The per-
+// partition gauges report each partition chain's intermediate totals and
+// resident peak. Merging Steps[t] with shard.MergeResults yields exactly
+// the pipeline's Steps[t].Result.
+type PipelinePartitions struct {
+	Steps                    [][]*core.Result
+	BuildTuples, ProbeTuples [][]int
+	Peak                     []int64
+	InterTuples, InterBytes  []int64
 }
 
 // PipelineInfo is the JSON-friendly snapshot of a pipeline query for
@@ -180,6 +214,9 @@ type pipeJob struct {
 // resolvedSpec carries the pins (released by the query's terminal state,
 // or by the caller on the synchronous path) and the pipeline job.
 func (s *Service) resolvePipeline(spec PipelineSpec) (resolvedSpec, error) {
+	if s.cluster != nil {
+		return s.cluster.resolvePipeline(spec)
+	}
 	if s.router != nil {
 		return s.resolveShardedPipeline(spec)
 	}
@@ -235,6 +272,9 @@ func (s *Service) RunPipeline(ctx context.Context, spec PipelineSpec) (*Pipeline
 		return nil, err
 	}
 	defer rs.release()
+	if rs.clusterpipe != nil {
+		return s.cluster.execPipeline(ctx, rs.clusterpipe)
+	}
 	if rs.shardpipe != nil {
 		return s.execShardedPipeline(ctx, rs.shardpipe, rs.opt, rs.auto)
 	}

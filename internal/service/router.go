@@ -429,6 +429,9 @@ func emptyPartResult(opt core.Options) *core.Result {
 type shardJob struct {
 	rParts, sParts [shard.Partitions]rel.Relation
 	workload       *plan.Workload
+	// keep retains the raw per-partition results alongside the merge
+	// (JoinSpec.KeepPartitions) — the cluster transport's raw material.
+	keep bool
 }
 
 // resolveSharded resolves a JoinSpec through the router: named sides pin
@@ -438,7 +441,7 @@ type shardJob struct {
 // both-or-neither rule before submitting.
 func (s *Service) resolveSharded(sp JoinSpec) (resolvedSpec, error) {
 	rs := resolvedSpec{opt: sp.Opt, auto: sp.Auto}
-	job := &shardJob{}
+	job := &shardJob{keep: sp.KeepPartitions, workload: sp.Workload}
 	var rRec, sRec *shardedRel
 	if sp.RName != "" {
 		sr, ents, err := s.router.acquire(sp.RName)
@@ -468,7 +471,7 @@ func (s *Service) resolveSharded(sp JoinSpec) (resolvedSpec, error) {
 	} else {
 		job.sParts = shard.Split(sp.S)
 	}
-	if sp.Auto && rRec != nil && sRec != nil {
+	if sp.Auto && job.workload == nil && rRec != nil && sRec != nil {
 		w := s.router.workload(rRec, sRec)
 		job.workload = &w
 	}
@@ -481,8 +484,9 @@ func (s *Service) resolveSharded(sp JoinSpec) (resolvedSpec, error) {
 // Equi-join matches never cross partitions, so the merged result — match
 // count and every simulated number — equals the fixed grid's and is
 // bit-identical for any shard count. Per-partition planning (auto) runs
-// inside the fan-out on the partition's own planner.
-func (s *Service) execShardedJoin(ctx context.Context, job *shardJob, opt core.Options, auto bool) (*core.Result, error) {
+// inside the fan-out on the partition's own planner. parts is the raw
+// per-partition vector, returned only when job.keep asked for it.
+func (s *Service) execShardedJoin(ctx context.Context, job *shardJob, opt core.Options, auto bool) (merged *core.Result, parts []*core.Result, err error) {
 	type partOut struct {
 		res *core.Result
 		err error
@@ -507,15 +511,19 @@ func (s *Service) execShardedJoin(ctx context.Context, job *shardJob, opt core.O
 		res, err := core.RunCtx(ctx, job.rParts[p], job.sParts[p], popt)
 		return partOut{res: res, err: err}
 	})
-	parts := make([]*core.Result, shard.Partitions)
+	parts = make([]*core.Result, shard.Partitions)
 	for p, o := range outs {
 		if o.err != nil {
 			// Lowest partition index wins: deterministic error selection.
-			return nil, fmt.Errorf("partition %d: %w", p, o.err)
+			return nil, nil, fmt.Errorf("partition %d: %w", p, o.err)
 		}
 		parts[p] = o.res
 	}
-	return shard.MergeResults(parts), nil
+	merged = shard.MergeResults(parts)
+	if !job.keep {
+		parts = nil
+	}
+	return merged, parts, nil
 }
 
 // shardedPipeSource is one resolved pipeline input on the sharded path:
@@ -540,6 +548,11 @@ type shardedPipeJob struct {
 	sources      []shardedPipeSource
 	declared     bool
 	materialized bool
+	// keep retains the raw per-partition step results
+	// (PipelineSpec.KeepPartitions); wFirst overrides the first step's
+	// planning workload (PipelineSpec.FirstWorkload).
+	keep   bool
+	wFirst *plan.Workload
 }
 
 // resolveShardedPipeline pins the named sources' partition entries and
@@ -549,7 +562,12 @@ func (s *Service) resolveShardedPipeline(spec PipelineSpec) (resolvedSpec, error
 	if len(spec.Sources) < 2 {
 		return rs, fmt.Errorf("%w (got %d)", ErrPipelineTooShort, len(spec.Sources))
 	}
-	pj := &shardedPipeJob{declared: spec.DeclaredOrder, materialized: spec.Materialized}
+	pj := &shardedPipeJob{
+		declared:     spec.DeclaredOrder,
+		materialized: spec.Materialized,
+		keep:         spec.KeepPartitions,
+		wFirst:       spec.FirstWorkload,
+	}
 	for i, src := range spec.Sources {
 		in := shardedPipeSource{name: src.Name}
 		if src.Name != "" {
@@ -633,8 +651,8 @@ func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, o
 	// per-partition planning fingerprints with the full-relation buckets,
 	// like a registered pairwise join would. Later steps build from
 	// intermediates and measure their partitions.
-	var wFirst *plan.Workload
-	if auto {
+	wFirst := pj.wFirst
+	if auto && wFirst == nil {
 		if b, p0 := pj.sources[order[0]].sr, pj.sources[order[1]].sr; b != nil && p0 != nil {
 			w := s.router.workload(b, p0)
 			wFirst = &w
@@ -684,6 +702,32 @@ func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, o
 		res.IntermediateTuples += c.interTuples
 		res.IntermediateBytes += c.interBytes
 		res.PeakIntermediateBytes += c.peak
+	}
+	if pj.keep {
+		pp := &PipelinePartitions{
+			Steps:       make([][]*core.Result, n-1),
+			BuildTuples: make([][]int, n-1),
+			ProbeTuples: make([][]int, n-1),
+			Peak:        make([]int64, shard.Partitions),
+			InterTuples: make([]int64, shard.Partitions),
+			InterBytes:  make([]int64, shard.Partitions),
+		}
+		for idx := 0; idx < n-1; idx++ {
+			pp.Steps[idx] = make([]*core.Result, shard.Partitions)
+			pp.BuildTuples[idx] = make([]int, shard.Partitions)
+			pp.ProbeTuples[idx] = make([]int, shard.Partitions)
+			for p, c := range chains {
+				pp.Steps[idx][p] = c.steps[idx]
+				pp.BuildTuples[idx][p] = c.buildTuples[idx]
+				pp.ProbeTuples[idx][p] = c.probeTuples[idx]
+			}
+		}
+		for p, c := range chains {
+			pp.Peak[p] = c.peak
+			pp.InterTuples[p] = c.interTuples
+			pp.InterBytes[p] = c.interBytes
+		}
+		res.Partitions = pp
 	}
 	return res, nil
 }

@@ -28,10 +28,12 @@ import (
 	"time"
 
 	"apujoin/internal/catalog"
+	"apujoin/internal/cluster"
 	"apujoin/internal/core"
 	"apujoin/internal/plan"
 	"apujoin/internal/rel"
 	"apujoin/internal/sched"
+	"apujoin/internal/service/api"
 )
 
 // ErrClosed reports a Submit after Close.
@@ -80,6 +82,37 @@ type Config struct {
 	// splits CatalogBytes (or its 512 MB default) evenly across the
 	// shards.
 	ShardBudget int64
+	// Cluster lists the base URLs of remote apujoind shard servers. When
+	// non-empty the service becomes a network cluster router: relations
+	// register by splitting over the fixed shard.Partitions grid and
+	// uploading each server's owned partitions, joins and pipelines fan
+	// out over HTTP and merge locally in partition order, and results stay
+	// bit-identical to a single-process engine over the same data. Cluster
+	// takes precedence over Shards (a cluster router holds no tuple data
+	// of its own). Between 1 and shard.Partitions servers are supported.
+	Cluster []string
+	// ClusterTimeout bounds each remote shard request; <= 0 selects 120s
+	// (join fan-outs block until the remote query finishes).
+	ClusterTimeout time.Duration
+	// ClusterRetries bounds the retries of idempotent (GET) shard
+	// requests after transport errors or 5xx responses; 0 selects 2,
+	// negative disables retries. Non-idempotent requests are never
+	// retried.
+	ClusterRetries int
+	// ClusterBackoff is the base of the exponential retry backoff; <= 0
+	// selects 100ms.
+	ClusterBackoff time.Duration
+	// HealthInterval is the period of the background shard health probe;
+	// <= 0 selects 2s.
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive probe failures mark a shard
+	// down; <= 0 selects 3. A downed shard fails queries fast with a
+	// structured shard-down error until a probe (or any successful
+	// request) marks it back up.
+	HealthFailures int
+	// Logf, when set, receives cluster health transitions (shard marked
+	// down, shard rejoined) in log.Printf format. Nil silences them.
+	Logf func(format string, args ...any)
 }
 
 // Options is the former name of Config.
@@ -159,6 +192,11 @@ type Query struct {
 	// the pipeline finishes (res then holds the final step's Result).
 	pipe *PipelineResult
 
+	// parts holds the raw per-partition results of a sharded join that
+	// asked for them (JoinSpec.KeepPartitions), indexed by fixed grid
+	// partition. A cluster router rebuilds the merged result from these.
+	parts []*core.Result
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -170,6 +208,16 @@ func (q *Query) Pipeline() (*PipelineResult, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.pipe, q.pipe != nil
+}
+
+// Partitions returns the raw per-partition results of a finished sharded
+// join submitted with JoinSpec.KeepPartitions, indexed by fixed grid
+// partition (nil otherwise). Merging them with shard.MergeResults yields
+// exactly the query's Result.
+func (q *Query) Partitions() []*core.Result {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.parts
 }
 
 // State returns the query's current lifecycle state.
@@ -356,9 +404,16 @@ type Stats struct {
 	Catalog catalog.Stats `json:"catalog"`
 
 	// Shards is the router's shard count (0 = unsharded) and ShardCatalogs
-	// the per-shard catalog gauges, in shard order.
+	// the per-shard catalog gauges, in shard order. On a clustered service
+	// Shards is the remote server count and ShardCatalogs stays empty (the
+	// shard catalogs live in the remote processes).
 	Shards        int             `json:"shards,omitempty"`
 	ShardCatalogs []catalog.Stats `json:"shard_catalogs,omitempty"`
+
+	// Cluster carries the per-shard health and latency gauges of a
+	// clustered service: up/down state, probe counters and latency,
+	// request/failure/retry totals per remote server.
+	Cluster *cluster.Report `json:"cluster,omitempty"`
 }
 
 // MeanPlanErr returns the mean relative predicted-vs-simulated error of
@@ -383,6 +438,10 @@ type Service struct {
 	// the fixed hash-partition grid; without one the legacy single-catalog
 	// path below runs unchanged.
 	router *router
+	// cluster is the network-sharded front: non-nil when Config.Cluster
+	// lists remote shard servers. It wins over router — a cluster router
+	// holds only relation metadata and fans every join out over HTTP.
+	cluster *clusterRouter
 	// sem holds one slot per concurrently executing query; acquisition
 	// order is the runtime's FIFO for blocked channel sends, which
 	// interleaves waiting queries fairly.
@@ -415,7 +474,9 @@ func New(opt Config) *Service {
 		closing: make(chan struct{}),
 		queries: make(map[int64]*Query),
 	}
-	if opt.Shards > 0 {
+	if len(opt.Cluster) > 0 {
+		s.cluster = newClusterRouter(opt)
+	} else if opt.Shards > 0 {
 		s.router = newRouter(opt)
 	}
 	s.stats.Workers = s.pool.Workers()
@@ -423,11 +484,19 @@ func New(opt Config) *Service {
 	return s
 }
 
-// Sharded reports whether the service runs the sharded router path.
-func (s *Service) Sharded() bool { return s.router != nil }
+// Sharded reports whether the service runs the sharded router path
+// (in-process shards or a network cluster).
+func (s *Service) Sharded() bool { return s.router != nil || s.cluster != nil }
 
-// Shards returns the configured shard count (0 for an unsharded service).
+// Clustered reports whether the service fans out to remote shard servers.
+func (s *Service) Clustered() bool { return s.cluster != nil }
+
+// Shards returns the configured shard count: remote servers for a
+// clustered service, in-process shards otherwise (0 when unsharded).
 func (s *Service) Shards() int {
+	if s.cluster != nil {
+		return s.cluster.pool.Size()
+	}
 	if s.router == nil {
 		return 0
 	}
@@ -448,6 +517,9 @@ func (s *Service) Catalog() *catalog.Catalog { return s.catalog }
 // RegisterGen generates and registers a build relation from a spec,
 // splitting it across the shard catalogs when the service is sharded.
 func (s *Service) RegisterGen(name string, g rel.Gen) (catalog.Info, error) {
+	if s.cluster != nil {
+		return s.cluster.registerGen(name, g)
+	}
 	if s.router != nil {
 		return s.router.registerGen(name, g)
 	}
@@ -460,6 +532,9 @@ func (s *Service) RegisterGen(name string, g rel.Gen) (catalog.Info, error) {
 // original tuple order) before generating, so the probe is bit-identical
 // to the unsharded generation from the same specs.
 func (s *Service) RegisterProbe(name, of string, g rel.Gen, selectivity float64) (catalog.Info, error) {
+	if s.cluster != nil {
+		return s.cluster.registerProbe(name, of, g, selectivity)
+	}
 	if s.router != nil {
 		return s.router.registerProbe(name, of, g, selectivity)
 	}
@@ -469,6 +544,9 @@ func (s *Service) RegisterProbe(name, of string, g rel.Gen, selectivity float64)
 // LoadRelation registers an existing relation (bulk load), splitting it
 // across the shard catalogs when the service is sharded.
 func (s *Service) LoadRelation(name string, r rel.Relation) (catalog.Info, error) {
+	if s.cluster != nil {
+		return s.cluster.load(name, r)
+	}
 	if s.router != nil {
 		return s.router.load(name, r)
 	}
@@ -478,6 +556,9 @@ func (s *Service) LoadRelation(name string, r rel.Relation) (catalog.Info, error
 // DropRelation unregisters a relation: the name unbinds immediately while
 // in-flight queries keep their pins.
 func (s *Service) DropRelation(name string) (catalog.Info, error) {
+	if s.cluster != nil {
+		return s.cluster.drop(name)
+	}
 	if s.router != nil {
 		return s.router.drop(name)
 	}
@@ -486,6 +567,9 @@ func (s *Service) DropRelation(name string) (catalog.Info, error) {
 
 // Relations lists the registered relations, sorted by name.
 func (s *Service) Relations() []catalog.Info {
+	if s.cluster != nil {
+		return s.cluster.list()
+	}
 	if s.router != nil {
 		return s.router.list()
 	}
@@ -494,6 +578,9 @@ func (s *Service) Relations() []catalog.Info {
 
 // RelationInfo snapshots one registered relation.
 func (s *Service) RelationInfo(name string) (catalog.Info, bool) {
+	if s.cluster != nil {
+		return s.cluster.get(name)
+	}
 	if s.router != nil {
 		return s.router.get(name)
 	}
@@ -511,8 +598,13 @@ func (s *Service) RunJoin(ctx context.Context, spec JoinSpec) (*core.Result, err
 		return nil, err
 	}
 	defer rs.release()
+	if rs.clusterjob != nil {
+		res, _, err := s.cluster.execJoin(ctx, rs.clusterjob)
+		return res, err
+	}
 	if rs.shardjob != nil {
-		return s.execShardedJoin(ctx, rs.shardjob, rs.opt, rs.auto)
+		res, _, err := s.execShardedJoin(ctx, rs.shardjob, rs.opt, rs.auto)
+		return res, err
 	}
 	opt := rs.opt
 	if rs.auto {
@@ -587,6 +679,23 @@ type JoinSpec struct {
 	// Auto ignores Opt.Algo/Opt.Scheme and lets the planner decide, as
 	// SubmitAuto does.
 	Auto bool
+	// Workload, when non-nil, overrides the pair workload the planner
+	// fingerprints with for Auto queries. A cluster router sets it on the
+	// requests it forwards so shard servers — which hold only a subset of
+	// each relation — fingerprint with the full-relation statistics and
+	// make the same planning decisions a single-process engine would.
+	Workload *plan.Workload
+	// KeepPartitions asks a sharded service to retain the raw
+	// per-partition results alongside the merged one (Query.Partitions).
+	// Shard servers answering a cluster router's fan-out set it: the
+	// router overlays each partition from its owner and merges locally,
+	// which is what keeps cluster results bit-identical.
+	KeepPartitions bool
+	// Forward, when non-nil on a clustered service, is the original wire
+	// request to fan out verbatim (after validation) instead of
+	// reconstructing one from the fields above. The HTTP layer sets it so
+	// shard servers parse exactly what the client sent.
+	Forward *api.JoinRequest
 }
 
 // resolvedSpec is one admitted unit of work after catalog resolution: a
@@ -603,6 +712,11 @@ type resolvedSpec struct {
 	// the per-partition inputs of a join or pipeline. r/s/pipe are unused.
 	shardjob  *shardJob
 	shardpipe *shardedPipeJob
+	// clusterjob / clusterpipe mark network-cluster work (Config.Cluster
+	// non-empty): the wire requests to fan out to the remote shard
+	// servers. Every other execution field is unused.
+	clusterjob  *clusterJob
+	clusterpipe *clusterPipeJob
 }
 
 func (rs *resolvedSpec) release() {
@@ -617,10 +731,13 @@ func (rs *resolvedSpec) release() {
 // fixed per-partition inputs (named sides pin all partition entries,
 // inline sides split on the spot).
 func (s *Service) resolve(sp JoinSpec) (resolvedSpec, error) {
+	if s.cluster != nil {
+		return s.cluster.resolve(sp)
+	}
 	if s.router != nil {
 		return s.resolveSharded(sp)
 	}
-	rs := resolvedSpec{r: sp.R, s: sp.S, opt: sp.Opt, auto: sp.Auto}
+	rs := resolvedSpec{r: sp.R, s: sp.S, opt: sp.Opt, auto: sp.Auto, workload: sp.Workload}
 	if (sp.RName == "") != (sp.SName == "") {
 		return rs, fmt.Errorf("service: reference both relations by name or neither (r %q, s %q)", sp.RName, sp.SName)
 	}
@@ -638,7 +755,7 @@ func (s *Service) resolve(sp JoinSpec) (resolvedSpec, error) {
 	}
 	rs.r, rs.s = re.Relation(), se.Relation()
 	rs.pins = []*catalog.Entry{re, se}
-	if sp.Auto {
+	if sp.Auto && rs.workload == nil {
 		w := s.catalog.Workload(re, se)
 		rs.workload = &w
 	}
@@ -825,12 +942,15 @@ func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted b
 	// the final step's Result is the query's Result and the per-step
 	// report lands on the query before it turns terminal. Sharded
 	// pipelines fan the chain out per partition the same way.
-	if rs.pipe != nil || rs.shardpipe != nil {
+	if rs.pipe != nil || rs.shardpipe != nil || rs.clusterpipe != nil {
 		var pres *PipelineResult
 		var err error
-		if rs.shardpipe != nil {
+		switch {
+		case rs.clusterpipe != nil:
+			pres, err = s.cluster.execPipeline(ctx, rs.clusterpipe)
+		case rs.shardpipe != nil:
 			pres, err = s.execShardedPipeline(ctx, rs.shardpipe, opt, rs.auto)
-		} else {
+		default:
 			pres, err = s.execPipeline(ctx, rs.pipe, opt, rs.auto)
 		}
 		switch {
@@ -847,13 +967,37 @@ func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted b
 		return
 	}
 
+	// A clustered join fans out to the remote shard servers inside the one
+	// admission slot; the per-partition results come back raw and merge
+	// locally in partition order.
+	if rs.clusterjob != nil {
+		res, parts, err := s.cluster.execJoin(ctx, rs.clusterjob)
+		switch {
+		case err == nil:
+			if rs.clusterjob.keep {
+				q.mu.Lock()
+				q.parts = parts
+				q.mu.Unlock()
+			}
+			s.finish(q, res, nil, Done, started)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.finish(q, nil, err, Canceled, started)
+		default:
+			s.finish(q, nil, err, Failed, started)
+		}
+		return
+	}
+
 	// A sharded join fans out to every fixed hash partition inside the one
 	// admission slot and merges deterministically; per-partition planning
 	// happens inside the fan-out on the partition's own planner.
 	if rs.shardjob != nil {
-		res, err := s.execShardedJoin(ctx, rs.shardjob, opt, rs.auto)
+		res, parts, err := s.execShardedJoin(ctx, rs.shardjob, opt, rs.auto)
 		switch {
 		case err == nil:
+			q.mu.Lock()
+			q.parts = parts
+			q.mu.Unlock()
 			s.finish(q, res, nil, Done, started)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.finish(q, nil, err, Canceled, started)
@@ -1053,6 +1197,12 @@ func (s *Service) Stats() Stats {
 	st.PlanEvictions = cs.Evictions
 	st.PlanEntries = cs.Entries
 	st.Catalog = s.catalog.Stats()
+	if s.cluster != nil {
+		st.Shards = s.cluster.pool.Size()
+		st.Catalog = s.cluster.stats()
+		rep := s.cluster.pool.Report()
+		st.Cluster = &rep
+	}
 	if s.router != nil {
 		for _, p := range s.router.planners {
 			pcs := p.Stats()
@@ -1082,5 +1232,8 @@ func (s *Service) Close() error {
 	}
 	s.wg.Wait()
 	s.pool.Close()
+	if s.cluster != nil {
+		s.cluster.pool.Close()
+	}
 	return nil
 }

@@ -61,6 +61,22 @@ func Owner(part, shards int) int {
 	return part * Clamp(shards) / Partitions
 }
 
+// OwnedBy returns the partitions shard k owns under a given shard count,
+// in ascending partition order. It is the inverse view of Owner, used by
+// routing tiers that group a relation's partitions by owner — the
+// in-process router iterates partitions directly, while the network
+// cluster tier concatenates each server's owned partitions into one
+// upload.
+func OwnedBy(k, shards int) []int {
+	var out []int
+	for p := 0; p < Partitions; p++ {
+		if Owner(p, shards) == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Split partitions a relation over the fixed grid: tuple i of r lands in
 // partition PartitionOf(r.Keys[i]), keeping its original (RID, Key) pair,
 // and tuples within a partition preserve their relative order in r. The
