@@ -1,9 +1,14 @@
 GO ?= go
 
 # Pinned static-analysis toolchain: @latest is not reproducible across CI
-# runs, so the version lives here and CI caches the installed binary
-# keyed on it.
+# runs, so the versions live here and CI caches the installed binaries
+# keyed on them.
 STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# apulint is built from the tree (cmd/apulint): the analyzers ARE the
+# contracts under review, so there is nothing external to pin.
+APULINT := /tmp/apujoin-apulint
 
 # Minimum total test coverage (percent) the coverage target enforces.
 # Raise it as coverage grows; never lower it to merge.
@@ -14,7 +19,7 @@ BENCH_TOL ?= 0.25
 
 BENCHJSON := /tmp/apujoin-benchjson
 
-.PHONY: all build test race bench bench-json bench-check bench-refresh coverage fuzz lint lint-install fmt vet docs-check check
+.PHONY: all build test race bench bench-json bench-check bench-refresh coverage fuzz lint lint-apulint lint-install lint-install-staticcheck lint-install-govulncheck fmt vet docs-check check
 
 # Budget for the randomized join-oracle fuzz smoke (the committed seed
 # corpus under testdata/fuzz additionally runs as plain unit tests).
@@ -25,11 +30,14 @@ all: build
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-independent) execution order
+# per run so order-dependent tests cannot hide; a failure prints the
+# shuffle seed for reproduction (go test -shuffle=<seed>).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Parallel-runtime speedup benchmark plus the per-variant join benchmarks.
 bench:
@@ -105,18 +113,38 @@ coverage:
 		echo "coverage $$total% meets the floor of $(COVERAGE_FLOOR)%"; \
 	fi
 
-# Static analysis beyond vet. CI installs the pinned staticcheck; locally
-# the target degrades to a notice when the binary is absent (no network
-# assumption).
-lint:
+# Static analysis beyond vet: the project's own analyzer suite (apulint,
+# always — it builds from the tree), then staticcheck and govulncheck
+# (pinned; CI installs them, locally the targets degrade to a notice when
+# a binary is absent — no network assumption).
+lint: lint-apulint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (make lint-install)"; \
 	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (make lint-install)"; \
+	fi
 
-lint-install:
+# The determinism/parallelism/envelope contracts, enforced at compile
+# time (see internal/analysis). Any finding — including a suppression
+# pragma without a reason — fails the build.
+lint-apulint:
+	$(GO) build -o $(APULINT) ./cmd/apulint
+	$(APULINT) ./...
+
+lint-install: lint-install-staticcheck lint-install-govulncheck
+
+# Split targets so CI can restore each binary from its own version-keyed
+# cache and install only the one that missed.
+lint-install-staticcheck:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+lint-install-govulncheck:
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,100 @@
+// Command apulint is apujoin's project-specific static analyzer: it
+// enforces the determinism, parallelism, and envelope contracts at
+// compile time (see internal/analysis for the suite). It type-checks the
+// requested packages from source — imports resolved through the
+// compiler's export data, no module downloads — runs every analyzer, and
+// exits non-zero on any finding, including pragma-hygiene errors (bare
+// suppressions, unknown analyzer names, stale pragmas).
+//
+// Usage:
+//
+//	apulint [packages]          # default ./...
+//	apulint -list-ignores [packages]
+//	apulint -list-analyzers
+//
+// Suppressions are written on (or directly above) the offending line as
+//
+//	//apulint:ignore <analyzer>(<reason>)
+//
+// and are enumerable with -list-ignores so the full set of justified
+// exceptions stays auditable in review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"apujoin/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected: argv without the program
+// name, the two output streams, and the exit code as the return value
+// (0 clean, 1 findings, 2 usage or load failure).
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listIgnores := fs.Bool("list-ignores", false, "enumerate every suppression pragma instead of linting")
+	listAnalyzers := fs.Bool("list-analyzers", false, "print the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: apulint [flags] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *listAnalyzers {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "apulint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "apulint:", err)
+		return 2
+	}
+
+	if *listIgnores {
+		igs := analysis.ListIgnores(pkgs)
+		for _, ig := range igs {
+			reason := ig.Reason
+			if reason == "" {
+				reason = "(BARE — no reason given)"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", ig.Pos.Filename, ig.Pos.Line, ig.Analyzer, reason)
+		}
+		fmt.Fprintf(stdout, "%d suppression pragma(s)\n", len(igs))
+		return 0
+	}
+
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "apulint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(stderr, "apulint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}

@@ -15,11 +15,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/url"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -88,8 +90,19 @@ func parseDoc(path string) (*doc, error) {
 }
 
 func main() {
-	root := flag.String("root", ".", "repository root to check")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected: argv without the program
+// name, the two output streams, and the exit code as the return value
+// (0 all links resolve, 1 broken links, 2 usage or walk failure).
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("docscheck", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	root := flags.String("root", ".", "repository root to check")
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
 
 	// Pass 1: parse every Markdown file, collecting anchors and links.
 	docs := map[string]*doc{}
@@ -121,17 +134,24 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "docscheck: %v\n", err)
+		return 2
 	}
 
-	// Pass 2: resolve every link against the collected tree.
+	// Pass 2: resolve every link against the collected tree, in sorted
+	// file order so the failure report is stable run to run.
+	files := make([]string, 0, len(docs))
+	for file := range docs {
+		files = append(files, file)
+	}
+	sort.Strings(files)
 	broken := 0
 	fail := func(file string, ln int, format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", file, ln, fmt.Sprintf(format, args...))
+		fmt.Fprintf(stderr, "%s:%d: %s\n", file, ln, fmt.Sprintf(format, args...))
 		broken++
 	}
-	for file, d := range docs {
+	for _, file := range files {
+		d := docs[file]
 		for _, l := range d.links {
 			t := l.target
 			switch {
@@ -167,8 +187,9 @@ func main() {
 		}
 	}
 	if broken > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) across %d file(s)\n", broken, len(docs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "docscheck: %d broken link(s) across %d file(s)\n", broken, len(docs))
+		return 1
 	}
-	fmt.Printf("docscheck: %d files, all links resolve\n", len(docs))
+	fmt.Fprintf(stdout, "docscheck: %d files, all links resolve\n", len(docs))
+	return 0
 }

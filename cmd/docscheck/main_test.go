@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnchorOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Plain heading", "plain-heading"},
+		{"With `code` and *emphasis*", "with-code-and-emphasis"},
+		{"Mixed CASE 123", "mixed-case-123"},
+		{"punct, (drops)!", "punct-drops"},
+		{"under_scores stay", "under_scores-stay"},
+	}
+	for _, c := range cases {
+		if got := anchorOf(c.in); got != c.want {
+			t.Errorf("anchorOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDoc(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.md")
+	writeFile(t, path, strings.Join([]string{
+		"# Title",
+		"",
+		"A [link](other.md) and [another](#title).",
+		"",
+		"```",
+		"[inside a fence](ignored.md)",
+		"# not a heading",
+		"```",
+		"",
+		"## Second Heading ##",
+	}, "\n"))
+	d, err := parseDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.anchors["title"] || !d.anchors["second-heading"] {
+		t.Errorf("anchors = %v, want title and second-heading", d.anchors)
+	}
+	if len(d.anchors) != 2 {
+		t.Errorf("anchors = %v: the fenced pseudo-heading must not count", d.anchors)
+	}
+	if len(d.links) != 2 {
+		t.Fatalf("links = %+v, want the two outside the fence", d.links)
+	}
+	if d.links[0].target != "other.md" || d.links[1].target != "#title" {
+		t.Errorf("links = %+v", d.links)
+	}
+}
+
+func TestParseDocMissingFile(t *testing.T) {
+	if _, err := parseDoc(filepath.Join(t.TempDir(), "missing.md")); err == nil {
+		t.Error("expected error for a missing file")
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "README.md"), strings.Join([]string{
+		"# Top",
+		"",
+		"See [the guide](docs/guide.md), [a section](docs/guide.md#deep-dive),",
+		"[here](#top), [upstream](https://example.com/x), and",
+		"[mail](mailto:team@example.com). Also [a plain file](LICENSE).",
+	}, "\n"))
+	writeFile(t, filepath.Join(dir, "docs", "guide.md"), "# Guide\n\n## Deep Dive\n\nBack to [README](../README.md).\n")
+	writeFile(t, filepath.Join(dir, "LICENSE"), "whatever\n")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-root", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "2 files, all links resolve") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunReportsEveryBreakageKind(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a.md"), strings.Join([]string{
+		"# A",
+		"[gone](missing.md)",
+		"[bad frag](#nope)",
+		"[cross frag](b.md#nope)",
+		"[into binary](bin.dat#frag)",
+	}, "\n"))
+	writeFile(t, filepath.Join(dir, "b.md"), "# B\n")
+	writeFile(t, filepath.Join(dir, "bin.dat"), "x")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-root", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	for _, want := range []string{
+		`"missing.md" does not exist`,
+		`fragment "#nope" matches no heading in this file`,
+		`fragment "#nope" matches no heading in "b.md"`,
+		`fragment link "bin.dat#frag" into a non-Markdown file`,
+		"4 broken link(s) across 2 file(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+	// Broken links are reported in sorted file order, one line each.
+	if strings.Count(out, "a.md:") != 4 {
+		t.Errorf("want all 4 findings attributed to a.md:\n%s", out)
+	}
+}
+
+func TestRunSkipsVendoredTrees(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "ok.md"), "# OK\n")
+	// Broken docs inside skipped directories must not fail the run.
+	writeFile(t, filepath.Join(dir, "vendor", "bad.md"), "[gone](nope.md)\n")
+	writeFile(t, filepath.Join(dir, "node_modules", "bad.md"), "[gone](nope.md)\n")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-root", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "1 files") {
+		t.Errorf("stdout = %q, want only ok.md counted", stdout.String())
+	}
+}
+
+func TestRunWalkFailure(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-root", filepath.Join(t.TempDir(), "missing")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMapOrder enforces the deterministic-iteration contract in
+// result-producing packages: `for range` over a map is flagged unless the
+// loop is one of two provably order-insensitive shapes —
+//
+//  1. collect-then-sort: the body only appends to one slice, and a later
+//     statement in the same block sorts that slice before the function
+//     returns it anywhere;
+//  2. integer accumulation: the body only increments/adds into integer
+//     variables (integer addition is exactly commutative; floats are not,
+//     which is floatsum's business).
+//
+// Anything else must be restructured over sorted keys or carry an
+// //apulint:ignore detmaporder(reason) pragma. This is the compile-time
+// face of TestWorkersInvariance/TestShardInvariance: map iteration order
+// is randomized per run, so any map-ordered effect that reaches a result
+// or the wire breaks bit-identity across runs, workers, and shards.
+var DetMapOrder = &Analyzer{
+	Name: "detmaporder",
+	Doc: "flag map iteration in result-producing packages unless the loop is " +
+		"a collect-then-sort or integer-counting shape",
+	Run: runDetMapOrder,
+}
+
+func runDetMapOrder(pass *Pass) error {
+	if !inScope(resultProducing, pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Statement lists live in blocks and in switch/select clause
+			// bodies; a range loop can head any of them.
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rng) {
+					continue
+				}
+				if isCounterLoop(pass, rng.Body) {
+					continue
+				}
+				if collected, target := isCollectLoop(rng.Body); collected && sortedLater(pass, list[i+1:], target) {
+					continue
+				}
+				pass.Reportf(rng.Pos(), "map iteration order is randomized: restructure over sorted keys (collect + sort) or justify with //apulint:ignore detmaporder(reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isCounterLoop reports whether every statement in the body is an
+// integer increment/accumulation (n++, n--, n += expr with an integer
+// target) — order-insensitive because integer addition commutes exactly.
+func isCounterLoop(pass *Pass, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if (s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN) || len(s.Lhs) != 1 {
+				return false
+			}
+			if !isIntegerExpr(pass, s.Lhs[0]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isCollectLoop reports whether every statement in the body is
+// `x = append(x, ...)` for one identifier x, returning that identifier.
+func isCollectLoop(body *ast.BlockStmt) (bool, *ast.Ident) {
+	var target *ast.Ident
+	if len(body.List) == 0 {
+		return false, nil
+	}
+	for _, stmt := range body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false, nil
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false, nil
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false, nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false, nil
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return false, nil
+		}
+		if target != nil && target.Name != lhs.Name {
+			return false, nil
+		}
+		target = lhs
+	}
+	return true, target
+}
+
+// sortedLater reports whether a statement after the loop (in the same
+// block) sorts the collected slice: a call to sort.Slice/SliceStable/
+// Sort/Strings/Ints/Float64s or slices.Sort/SortFunc/SortStableFunc whose
+// first argument is the target identifier.
+func sortedLater(pass *Pass, rest []ast.Stmt, target *ast.Ident) bool {
+	if target == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isSortCall(pass, call.Fun) {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.Ident)
+			if ok && (pass.TypesInfo.Uses[arg] == obj || arg.Name == target.Name) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	names, ok := sortFuncs[pkgName.Imported().Path()]
+	return ok && names[sel.Sel.Name]
+}

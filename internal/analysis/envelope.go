@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Envelope enforces the unified JSON envelope inside internal/httpapi:
+// every byte a handler puts on the wire must flow through the envelope
+// writers (writeResult / writeError, and their shared writeJSON core).
+// Outside those three functions the analyzer flags http.Error /
+// http.NotFound / http.Redirect / http.ServeFile / http.ServeContent,
+// json.NewEncoder over a ResponseWriter, and direct
+// ResponseWriter.Write / WriteHeader calls. The contract is wire-level:
+// clients match on {"result":...} / {"error":{code,message}}, and a
+// single http.Error slipped into a new handler ships a bare text/plain
+// body that breaks them — cheaper to refuse at compile time than to
+// notice in an integration test.
+var Envelope = &Analyzer{
+	Name: "envelope",
+	Doc: "flag HTTP response writes in internal/httpapi that bypass the " +
+		"writeResult/writeError envelope helpers",
+	Run: runEnvelope,
+}
+
+// envelopeWriters are the functions allowed to touch the ResponseWriter
+// directly — the envelope implementation itself.
+var envelopeWriters = map[string]bool{
+	"writeJSON": true, "writeResult": true, "writeError": true,
+}
+
+// rawHTTPHelpers are net/http package functions that write a
+// non-envelope response body or status.
+var rawHTTPHelpers = map[string]bool{
+	"Error": true, "NotFound": true, "Redirect": true,
+	"ServeFile": true, "ServeContent": true,
+}
+
+func runEnvelope(pass *Pass) error {
+	if !inScope(envelopeScope, pass.Path) {
+		return nil
+	}
+	respWriter := responseWriterType(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Recv == nil && envelopeWriters[fn.Name.Name] {
+				continue // the envelope implementation itself
+			}
+			checkEnvelopeBody(pass, fn.Body, respWriter)
+		}
+	}
+	return nil
+}
+
+// responseWriterType resolves net/http.ResponseWriter from the package's
+// imports; nil when the package does not import net/http (then only the
+// selector-based checks apply).
+func responseWriterType(pass *Pass) *types.Interface {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == "net/http" {
+			if obj := imp.Scope().Lookup("ResponseWriter"); obj != nil {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkEnvelopeBody(pass *Pass, body *ast.BlockStmt, respWriter *types.Interface) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Package-level helpers: http.Error etc., json.NewEncoder(w).
+		if pkgIdent, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName); ok {
+				switch pkgName.Imported().Path() {
+				case "net/http":
+					if rawHTTPHelpers[sel.Sel.Name] {
+						pass.Reportf(call.Pos(), "http.%s bypasses the JSON envelope: respond through writeResult/writeError", sel.Sel.Name)
+					}
+				case "encoding/json":
+					if sel.Sel.Name == "NewEncoder" && len(call.Args) == 1 && implementsResponseWriter(pass, call.Args[0], respWriter) {
+						pass.Reportf(call.Pos(), "json.NewEncoder over a ResponseWriter bypasses the envelope: respond through writeResult/writeError")
+					}
+				}
+				return true
+			}
+		}
+		// Method calls on a ResponseWriter: w.Write / w.WriteHeader.
+		if sel.Sel.Name == "Write" || sel.Sel.Name == "WriteHeader" {
+			if implementsResponseWriter(pass, sel.X, respWriter) {
+				pass.Reportf(call.Pos(), "direct ResponseWriter.%s bypasses the envelope: respond through writeResult/writeError", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// implementsResponseWriter reports whether e's static type satisfies
+// net/http.ResponseWriter.
+func implementsResponseWriter(pass *Pass, e ast.Expr, respWriter *types.Interface) bool {
+	if respWriter == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, respWriter)
+}

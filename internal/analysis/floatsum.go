@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum enforces the fixed-order float-reduction contract: inside the
+// body of a map-range loop (directly or nested), no floating-point
+// accumulator declared outside that loop may be updated with
+// `+=`/`-=`/`*=`/`/=` or the `x = x + ...` form. Floating-point addition
+// does not commute in the last bit, so a map-ordered float reduction
+// yields a different total on every run — exactly the failure
+// shard.MergeResults prevents by summing simulated times in fixed
+// partition order, and the contract behind the wire-level `total_ms`
+// string equality the cluster smoke test asserts. detmaporder suppression
+// does not extend here: a justified map iteration still must not fold
+// floats.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc: "flag floating-point accumulation inside unordered (map-range) " +
+		"loops in result-producing packages",
+	Run: runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	if !inScope(resultProducing, pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass, rng) {
+				return true
+			}
+			checkFloatAccum(pass, rng)
+			// Keep walking so nested map ranges get their own visit
+			// (checkFloatAccum does not descend into them).
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatAccum walks one map-range body and reports float
+// accumulations into variables declared outside the loop.
+func checkFloatAccum(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		// A nested map range is its own unordered region and gets its own
+		// top-level visit; don't double-report its accumulations here.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng && rangesOverMap(pass, inner) {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(asg.Lhs) == 1 && isFloatAccumulator(pass, asg.Lhs[0], rng) {
+				pass.Reportf(asg.Pos(), "floating-point accumulation in map-iteration order: float addition does not commute — reduce in a fixed order (sorted keys or partition order)")
+			}
+		case token.ASSIGN:
+			// x = x + y (or x - y): self-referencing float update.
+			if len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			if !isFloatAccumulator(pass, asg.Lhs[0], rng) {
+				return true
+			}
+			if selfReferencing(pass, asg.Lhs[0], asg.Rhs[0]) {
+				pass.Reportf(asg.Pos(), "floating-point accumulation in map-iteration order: float addition does not commute — reduce in a fixed order (sorted keys or partition order)")
+			}
+		}
+		return true
+	})
+}
+
+// isFloatAccumulator reports whether e is a float-typed assignment target
+// that outlives one loop iteration: any selector/index expression, or an
+// identifier whose declaration sits outside the loop body (a variable
+// declared inside the body resets every iteration and cannot carry a
+// cross-iteration, order-dependent sum).
+func isFloatAccumulator(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			return false // per-iteration local, order-insensitive
+		}
+	}
+	return true
+}
+
+// selfReferencing reports whether rhs mentions the same object (or, for
+// non-identifier targets, a syntactically identical expression) as lhs —
+// the `x = x + y` accumulation shape.
+func selfReferencing(pass *Pass, lhs, rhs ast.Expr) bool {
+	lhsObj := objOf(pass, lhs)
+	lhsStr := types.ExprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if lhsObj != nil {
+			if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == lhsObj {
+				found = true
+				return false
+			}
+		}
+		if types.ExprString(e) == lhsStr {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func objOf(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

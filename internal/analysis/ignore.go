@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Ignore is one parsed suppression pragma:
+//
+//	//apulint:ignore <analyzer>(<reason>)
+//
+// A pragma suppresses diagnostics of the named analyzer on its own line
+// (trailing-comment form) and on the line directly below it (standalone-
+// comment form) — so it is written either at the end of the offending
+// line or on its own line immediately above. The reason is mandatory
+// prose explaining why the flagged construct is nevertheless correct; the
+// driver fails bare pragmas, unknown analyzer names, and pragmas that no
+// longer suppress anything, so every in-tree exception stays justified
+// and enumerable via `apulint -list-ignores`.
+type Ignore struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string // empty means the pragma is bare (an error)
+	used     bool
+}
+
+// covers reports whether the pragma's scope includes the given line.
+func (ig *Ignore) covers(line int) bool {
+	return line == ig.Pos.Line || line == ig.Pos.Line+1
+}
+
+// pragmaRE matches the pragma inside a //-comment's text. The reason
+// group is what the parentheses wrap; a pragma with no parentheses, or
+// empty ones, is bare.
+var pragmaRE = regexp.MustCompile(`^apulint:ignore\s+([A-Za-z0-9_-]+)\s*(?:\((.*)\))?\s*$`)
+
+// parseIgnores extracts every pragma in a file. Only //-style comments
+// are considered, and the pragma must be the comment's entire content
+// (fixture files may append an analysistest-style "// want ..."
+// expectation, which is stripped before matching).
+func parseIgnores(fset *token.FileSet, file *ast.File) []*Ignore {
+	var out []*Ignore
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//") {
+				continue // block comments cannot carry pragmas
+			}
+			text := strings.TrimPrefix(c.Text, "//")
+			if i := strings.Index(text, "// want"); i >= 0 {
+				text = strings.TrimSpace(text[:i])
+			}
+			m := pragmaRE.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			out = append(out, &Ignore{
+				Pos:      fset.Position(c.Pos()),
+				Analyzer: m[1],
+				Reason:   strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	return out
+}

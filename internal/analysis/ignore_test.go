@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) []*Ignore {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseIgnores(fset, f)
+}
+
+func TestParseIgnores(t *testing.T) {
+	src := `package p
+
+//apulint:ignore detmaporder(keys deleted, order-insensitive)
+var a int
+
+var b int //apulint:ignore wallclock(trailing form)
+
+//apulint:ignore nakedgo
+var c int
+
+// Not pragmas:
+// apulint:ignore spaced out (leading space before the directive)
+//apulint:ignoretypo detmaporder(x)
+var d int
+`
+	igs := parseOne(t, src)
+	if len(igs) != 3 {
+		t.Fatalf("want 3 pragmas, got %d: %+v", len(igs), igs)
+	}
+	if igs[0].Analyzer != "detmaporder" || igs[0].Reason != "keys deleted, order-insensitive" {
+		t.Errorf("pragma 0 parsed as %+v", igs[0])
+	}
+	if igs[1].Analyzer != "wallclock" || igs[1].Reason != "trailing form" {
+		t.Errorf("pragma 1 parsed as %+v", igs[1])
+	}
+	if igs[2].Analyzer != "nakedgo" || igs[2].Reason != "" {
+		t.Errorf("bare pragma parsed as %+v", igs[2])
+	}
+}
+
+func TestIgnoreCovers(t *testing.T) {
+	ig := &Ignore{Pos: token.Position{Line: 10}}
+	for line, want := range map[int]bool{9: false, 10: true, 11: true, 12: false} {
+		if got := ig.covers(line); got != want {
+			t.Errorf("covers(%d) = %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestParseIgnoresStripsWantClause(t *testing.T) {
+	src := "package p\n\n//apulint:ignore detmaporder // want `bare`\nvar a int\n"
+	igs := parseOne(t, src)
+	if len(igs) != 1 || igs[0].Analyzer != "detmaporder" || igs[0].Reason != "" {
+		t.Fatalf("want one bare detmaporder pragma, got %+v", igs)
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+// White-box tests for the driver plumbing: finding formatting and
+// ordering, want-clause parsing, and the loader's failure paths. The
+// analyzer behaviour itself is covered by the fixture suites in
+// analyzers_test.go; these tests pin down the harness they run on.
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:      token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Analyzer: "nakedgo",
+		Message:  "bare go statement",
+	}
+	want := "a/b.go:3:7: bare go statement [nakedgo]"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr string
+	}{
+		{in: `"one"`, want: []string{"one"}},
+		{in: `"one" "two"`, want: []string{"one", "two"}},
+		{in: "`raw re`", want: []string{"raw re"}},
+		{in: "\"a\" `b` \"c\"", want: []string{"a", "b", "c"}},
+		{in: `"escaped \" quote"`, want: []string{`escaped " quote`}},
+		{in: ``, want: nil},
+		{in: `"unterminated`, wantErr: "unterminated quoted"},
+		{in: "`unterminated", wantErr: "unterminated backquoted"},
+		{in: `bare words`, wantErr: "must be quoted"},
+		{in: `"ok" trailing`, wantErr: "must be quoted"},
+	}
+	for _, c := range cases {
+		got, err := splitQuoted(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("splitQuoted(%q) error = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("splitQuoted(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitQuoted(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseExpectations(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n" +
+		"func f() {} // want \"first\" `second`\n" +
+		"func g() {} // no clause here\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-Go entries are skipped, not parsed.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte(`// want "ignored"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseExpectations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].re.String() != "first" || got[1].re.String() != "second" {
+		t.Fatalf("parseExpectations = %+v, want the two clauses from a.go", got)
+	}
+	if got[0].line != 2 || got[1].line != 2 {
+		t.Errorf("want clauses anchored to line %d and %d, want line 2", got[0].line, got[1].line)
+	}
+}
+
+func TestParseExpectationsErrors(t *testing.T) {
+	if _, err := parseExpectations(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir: expected error")
+	}
+
+	badQuote := t.TempDir()
+	if err := os.WriteFile(filepath.Join(badQuote, "a.go"), []byte("package p\n// want unquoted\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseExpectations(badQuote); err == nil || !strings.Contains(err.Error(), "must be quoted") {
+		t.Errorf("bad quoting: error = %v", err)
+	}
+
+	badRE := t.TempDir()
+	if err := os.WriteFile(filepath.Join(badRE, "a.go"), []byte("package p\n// want \"(\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseExpectations(badRE); err == nil || !strings.Contains(err.Error(), "bad want pattern") {
+		t.Errorf("bad regexp: error = %v", err)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	mk := func(file string, line, col int, analyzer string) Finding {
+		return Finding{Pos: token.Position{Filename: file, Line: line, Column: col}, Analyzer: analyzer}
+	}
+	fs := []Finding{
+		mk("b.go", 1, 1, "nakedgo"),
+		mk("a.go", 2, 1, "wallclock"),
+		mk("a.go", 1, 9, "wallclock"),
+		mk("a.go", 1, 1, "wallclock"),
+		mk("a.go", 1, 1, "detmaporder"),
+	}
+	sortFindings(fs)
+	want := []Finding{
+		mk("a.go", 1, 1, "detmaporder"),
+		mk("a.go", 1, 1, "wallclock"),
+		mk("a.go", 1, 9, "wallclock"),
+		mk("a.go", 2, 1, "wallclock"),
+		mk("b.go", 1, 1, "nakedgo"),
+	}
+	if !reflect.DeepEqual(fs, want) {
+		t.Errorf("sortFindings order:\n got %v\nwant %v", fs, want)
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("ModuleRoot() = %q has no go.mod: %v", root, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(root, "./no/such/dir/..."); err == nil {
+		t.Error("Load with a pattern matching nothing: expected error")
+	}
+	// Patterns that resolve only outside the module yield no packages to
+	// analyze, which is an error, not an empty success.
+	if _, err := Load(root, "fmt"); err == nil {
+		t.Error("Load of a stdlib-only pattern: expected error")
+	}
+}
+
+func TestLoadFixtureErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadFixture(root, filepath.Join(t.TempDir(), "missing"), "example.com/x"); err == nil {
+		t.Error("missing fixture dir: expected error")
+	}
+
+	if _, err := LoadFixture(root, t.TempDir(), "example.com/x"); err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("empty fixture dir: error = %v", err)
+	}
+
+	syntaxErr := t.TempDir()
+	if err := os.WriteFile(filepath.Join(syntaxErr, "a.go"), []byte("package p\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFixture(root, syntaxErr, "example.com/x"); err == nil {
+		t.Error("syntax error in fixture: expected error")
+	}
+
+	badImport := t.TempDir()
+	if err := os.WriteFile(filepath.Join(badImport, "a.go"),
+		[]byte("package p\n\nimport \"no.such.module/pkg\"\n\nvar _ = pkg.X\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFixture(root, badImport, "example.com/x"); err == nil {
+		t.Error("unresolvable import in fixture: expected error")
+	}
+
+	typeErr := t.TempDir()
+	if err := os.WriteFile(filepath.Join(typeErr, "a.go"),
+		[]byte("package p\n\nvar x int = \"not an int\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFixture(root, typeErr, "example.com/x"); err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("type error in fixture: error = %v", err)
+	}
+}
+
+// TestCheckFixtureReportsMismatches proves the harness is non-vacuous:
+// the selfcheck fixture deliberately pairs a finding with no want clause
+// and a want clause with no finding, and CheckFixture must flag both.
+func TestCheckFixtureReportsMismatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	problems, err := CheckFixture("selfcheck/a", "example.com/selfcheck", NakedGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly 2 (one unexpected finding, one unmet want)", problems)
+	}
+	var unexpected, unmet bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected finding") {
+			unexpected = true
+		}
+		if strings.Contains(p, "no finding matched want") {
+			unmet = true
+		}
+	}
+	if !unexpected || !unmet {
+		t.Errorf("problems = %v, want one of each mismatch kind", problems)
+	}
+}
+
+func TestCheckFixtureMissingDir(t *testing.T) {
+	if _, err := CheckFixture("no/such/fixture", "example.com/x", NakedGo); err == nil {
+		t.Error("missing fixture: expected error")
+	}
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "go/ast"
+
+// NakedGo enforces pool-routed parallelism: a bare `go` statement is
+// flagged everywhere except internal/sched (the sanctioned concurrency
+// layer — worker-count invariance is provable exactly because all
+// parallel work flows through sched.Pool's deterministic partitioning),
+// internal/cluster (the network transport's health loops and fan-out),
+// and cmd/ binaries (serving loops and signal handlers). A goroutine
+// spawned anywhere else either duplicates the pool badly (unbounded, no
+// morsel accounting, no cancellation) or races the determinism contract;
+// if one is genuinely needed, it must say why with
+// //apulint:ignore nakedgo(reason).
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "flag bare go statements outside internal/sched, internal/cluster, and cmd/",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(pass *Pass) error {
+	if inScope(goAllowed, pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare go statement outside sched/cluster/cmd: route parallelism through sched.Pool so worker-count invariance stays provable")
+			}
+			return true
+		})
+	}
+	return nil
+}

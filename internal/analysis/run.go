@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies the pragma
+// suppression rules, and returns the surviving findings sorted by
+// position. The returned findings include pragma-hygiene errors (bare
+// pragmas, unknown analyzer names, pragmas that suppress nothing)
+// attributed to the synthetic "pragma" analyzer — a suppression that
+// cannot justify itself is itself a diagnostic.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := analyzePackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// analyzePackage runs the analyzers over one package and applies the
+// suppression and pragma-hygiene rules. Exposed to the fixture test
+// driver so pragma behaviour is testable exactly as shipped.
+func analyzePackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	// Pragmas indexed per file; a diagnostic can only be suppressed by a
+	// pragma in the file that contains it.
+	ignores := make(map[string][]*Ignore)
+	for _, f := range pkg.Files {
+		for _, ig := range parseIgnores(pkg.Fset, f) {
+			ignores[ig.Pos.Filename] = append(ignores[ig.Pos.Filename], ig)
+		}
+	}
+
+	var findings []Finding
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Path:      pkg.Path,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if ig := matchIgnore(ignores[pos.Filename], a.Name, pos.Line); ig != nil {
+				ig.used = true
+				if ig.Reason != "" {
+					continue // justified suppression
+				}
+				// A bare pragma suppresses nothing; fall through so the
+				// underlying diagnostic still surfaces alongside the
+				// hygiene error reported below.
+			}
+			findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+		}
+	}
+
+	// Pragma hygiene: every pragma must name a real analyzer, carry a
+	// reason, and still suppress at least one diagnostic.
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, ig := range ignores[name] {
+			switch {
+			case ig.Reason == "":
+				findings = append(findings, Finding{Pos: ig.Pos, Analyzer: "pragma",
+					Message: fmt.Sprintf("bare apulint:ignore %s pragma: a suppression needs a (reason)", ig.Analyzer)})
+			case !known(analyzers, ig.Analyzer):
+				findings = append(findings, Finding{Pos: ig.Pos, Analyzer: "pragma",
+					Message: fmt.Sprintf("apulint:ignore names unknown analyzer %q", ig.Analyzer)})
+			case !ig.used:
+				findings = append(findings, Finding{Pos: ig.Pos, Analyzer: "pragma",
+					Message: fmt.Sprintf("stale apulint:ignore %s pragma: it suppresses nothing — remove it", ig.Analyzer)})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// matchIgnore finds the first pragma for analyzer whose scope covers line.
+func matchIgnore(igs []*Ignore, analyzer string, line int) *Ignore {
+	for _, ig := range igs {
+		if ig.Analyzer == analyzer && ig.covers(line) {
+			return ig
+		}
+	}
+	return nil
+}
+
+func known(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ListIgnores enumerates every suppression pragma in the loaded packages,
+// sorted by position — the audit surface behind `apulint -list-ignores`.
+func ListIgnores(pkgs []*Package) []Ignore {
+	var out []Ignore
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, ig := range parseIgnores(pkg.Fset, f) {
+				out = append(out, *ig)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}

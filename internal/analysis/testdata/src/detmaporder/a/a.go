@@ -1,0 +1,104 @@
+// Fixture for the detmaporder analyzer: loaded at a result-producing
+// import path. Lines annotated `// want` must be flagged; everything else
+// must pass.
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+func plain(m map[string]int) {
+	for k := range m { // want `map iteration order is randomized`
+		_ = k
+	}
+}
+
+// The canonical collect-then-sort shape is order-insensitive and allowed.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collecting without a later sort leaks map order into the result.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sort.Slice and slices.Sort count as sorting the collected slice.
+func collectSortSlice(m map[string]int) []string {
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectSlicesSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// Integer counting commutes exactly and is allowed.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A justified pragma (standalone form, line above) suppresses cleanly.
+func justified(m map[string]int) {
+	//apulint:ignore detmaporder(fixture: deletes a key set, surviving contents are order-independent)
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Trailing-comment pragma form suppresses its own line.
+func justifiedTrailing(m map[string]int) {
+	for k := range m { //apulint:ignore detmaporder(fixture: deletes a key set, surviving contents are order-independent)
+		delete(m, k)
+	}
+}
+
+// Range statements heading a switch-case body are still seen.
+func inSwitch(m map[string]int, mode int) {
+	switch mode {
+	case 1:
+		for k := range m { // want `map iteration order is randomized`
+			_ = k
+		}
+	}
+}
+
+// Slice iteration is ordered and never flagged.
+func sliceLoop(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,25 @@
+// Fixture for the driver's pragma hygiene: bare pragmas, stale pragmas,
+// and pragmas naming unknown analyzers are findings in their own right,
+// and a bare pragma does not actually suppress.
+package core
+
+func bare(m map[string]int) {
+	//apulint:ignore detmaporder // want `bare apulint:ignore detmaporder pragma`
+	for k := range m { // want `map iteration order is randomized`
+		_ = k
+	}
+}
+
+func stale(xs []int) {
+	//apulint:ignore detmaporder(slice iteration is ordered, nothing here to suppress) // want `stale apulint:ignore detmaporder pragma`
+	for _, x := range xs {
+		_ = x
+	}
+}
+
+func unknown(m map[string]int) {
+	//apulint:ignore nosuchcheck(reason present but analyzer does not exist) // want `unknown analyzer "nosuchcheck"`
+	for k := range m { // want `map iteration order is randomized`
+		_ = k
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for the envelope analyzer: inside internal/httpapi every
+// response must flow through the envelope writers; the writers themselves
+// are the only functions allowed to touch the ResponseWriter.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// The envelope implementation is allowlisted by name.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeResult(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, map[string]any{"result": v})
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": map[string]any{"message": err.Error()}})
+}
+
+// Handlers that respond through the envelope are clean.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeResult(w, http.StatusOK, map[string]int{"n": 1})
+}
+
+// Reading or setting headers is not writing a response.
+func headerOK(w http.ResponseWriter) {
+	w.Header().Set("X-Request-ID", "42")
+}
+
+func badError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the JSON envelope`
+}
+
+func badNotFound(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want `http.NotFound bypasses the JSON envelope`
+}
+
+func badEncoder(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode("x") // want `json.NewEncoder over a ResponseWriter bypasses the envelope`
+}
+
+func badWrite(w http.ResponseWriter) {
+	_, _ = w.Write([]byte("raw")) // want `direct ResponseWriter.Write bypasses the envelope`
+}
+
+func badWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent) // want `direct ResponseWriter.WriteHeader bypasses the envelope`
+}
+
+// Encoding to something that is not a ResponseWriter is fine.
+func encodeElsewhere(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// A justified pragma suppresses (e.g. a streaming endpoint that cannot
+// buffer an envelope).
+func justifiedStream(w http.ResponseWriter) {
+	//apulint:ignore envelope(fixture: streaming endpoint, envelope documented out-of-band)
+	_, _ = w.Write([]byte("chunk"))
+}

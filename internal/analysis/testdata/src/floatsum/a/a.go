@@ -1,0 +1,89 @@
+// Fixture for the floatsum analyzer: floating-point accumulation inside
+// map-iteration order is flagged; integer accumulation, per-iteration
+// locals, and ordered (slice) reductions are not.
+package core
+
+func sumFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+func sumFloatExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+func productFloat(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation in map-iteration order`
+	}
+	return p
+}
+
+// Integer addition commutes exactly: not flagged (and detmaporder
+// whitelists the loop shape).
+func sumInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A float declared inside the body resets every iteration and cannot
+// carry a cross-iteration, order-dependent sum.
+func perIteration(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		x := 0.0
+		x += v
+		last = x
+	}
+	return last
+}
+
+// Accumulating through an ordered inner loop is still map-ordered when
+// the outer loop ranges a map.
+func nested(m map[string][]float64) float64 {
+	var total float64
+	for _, vs := range m {
+		for _, v := range vs {
+			total += v // want `floating-point accumulation in map-iteration order`
+		}
+	}
+	return total
+}
+
+// Field targets accumulate across iterations too.
+type acc struct{ S float64 }
+
+func fieldTarget(m map[string]float64, a *acc) {
+	for _, v := range m {
+		a.S += v // want `floating-point accumulation in map-iteration order`
+	}
+}
+
+// Ordered reduction over a slice is the sanctioned shape.
+func sliceSum(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// A justified pragma suppresses (reasons are mandatory; bare ones fail).
+func justified(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v //apulint:ignore floatsum(fixture: tolerance analysis only, result never compared bit-for-bit)
+	}
+	return t
+}

@@ -1,0 +1,25 @@
+// Fixture for the nakedgo analyzer, loaded at a path outside the
+// sched/cluster/cmd allowlist.
+package core
+
+func spawn(f func()) {
+	go f() // want `bare go statement outside sched/cluster/cmd`
+}
+
+func spawnClosure(done chan struct{}) {
+	go func() { // want `bare go statement outside sched/cluster/cmd`
+		close(done)
+	}()
+}
+
+// A justified pragma suppresses.
+func justified(f func(), done chan struct{}) {
+	//apulint:ignore nakedgo(fixture: joined by the channel receive on the next line)
+	go func() { f(); close(done) }()
+	<-done
+}
+
+// Calling a function is not spawning one.
+func call(f func()) {
+	f()
+}

@@ -1,0 +1,8 @@
+// Scope fixture: one bare go statement, no pragma, no want annotations.
+// Loaded at an allowed path (internal/sched, internal/cluster, cmd/...)
+// it must produce zero findings; loaded anywhere else, exactly one.
+package scope
+
+func spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,13 @@
+// Package selfcheck is a deliberately mis-annotated fixture used by
+// TestCheckFixtureReportsMismatches to prove the expectation harness is
+// non-vacuous: the go statement below has no want clause (an unexpected
+// finding) and the want clause below sits on a clean line (an unmet
+// expectation). Do not "fix" the annotations — their wrongness is the
+// point.
+package selfcheck
+
+func spawn(f func()) {
+	go f()
+}
+
+func clean() {} // want "this never fires"

@@ -1,0 +1,53 @@
+// Fixture for the wallclock analyzer: wall-clock reads and global
+// math/rand use are flagged in the simulated-time core; injected-seed
+// randomness and time arithmetic are not.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano() // want `time.Now in the simulated-time core`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in the simulated-time core`
+}
+
+func until(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time.Until in the simulated-time core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in the simulated-time core`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle in the simulated-time core`
+}
+
+// The injected-seed constructors and everything hanging off a *rand.Rand
+// are deterministic and allowed.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func zipf(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 2, 1, 100)
+	return z.Uint64()
+}
+
+// Duration arithmetic never reads the clock.
+func scale(d time.Duration) time.Duration {
+	return 3 * d / time.Millisecond * time.Millisecond
+}
+
+// Reporting metadata may read the wall clock with a justification.
+func stamped() time.Time {
+	//apulint:ignore wallclock(fixture: registration timestamp surfaced as metadata only)
+	return time.Now()
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean runs the full analyzer suite over the real module —
+// the same sweep `apulint ./...` and the CI lint job perform — and
+// requires zero findings. This is the contract the suite exists for:
+// a violation anywhere in production code fails `go test ./...`, not
+// just the lint job.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+
+	// Every in-tree suppression must carry a reason (bare pragmas are
+	// findings above, but assert the audit surface directly too) and
+	// name a real analyzer.
+	igs := ListIgnores(pkgs)
+	for _, ig := range igs {
+		if strings.TrimSpace(ig.Reason) == "" {
+			t.Errorf("%s:%d: bare suppression pragma", ig.Pos.Filename, ig.Pos.Line)
+		}
+		if _, ok := ByName(ig.Analyzer); !ok {
+			t.Errorf("%s:%d: pragma names unknown analyzer %q", ig.Pos.Filename, ig.Pos.Line, ig.Analyzer)
+		}
+	}
+	t.Logf("tree clean; %d justified suppression(s)", len(igs))
+}
+
+// TestLoadModulePackages pins the loader's view of the module: the
+// packages the determinism contracts bind to must be present and
+// type-checked.
+func TestLoadModulePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package", p.Path)
+		}
+	}
+	for _, path := range resultProducing {
+		if !seen[path] {
+			t.Errorf("result-producing package %s not loaded", path)
+		}
+	}
+	for _, path := range []string{"apujoin/internal/sched", "apujoin/internal/httpapi", "apujoin/cmd/apulint"} {
+		if !seen[path] {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}

@@ -294,6 +294,7 @@ func (c *Catalog) insert(e *Entry) (Info, error) {
 	e.index = e.rel.Index()
 	e.skewBucket = plan.SkewBucketOf(e.sample)
 	e.heavyShare = heavyShare(e.sample)
+	//apulint:ignore wallclock(registration wall-time is reporting metadata surfaced in Info; it never enters a simulated quantity)
 	e.created = time.Now()
 	e.c = c
 
@@ -464,6 +465,7 @@ func (c *Catalog) Drop(name string) (Info, error) {
 	c.dropped++
 	// A later registration under the same name must not inherit this
 	// entry's memoized pair workloads.
+	//apulint:ignore detmaporder(invalidation deletes a key set; the surviving map contents are the same whatever order the keys are visited in)
 	for k := range c.workloads {
 		if k.r == name || k.s == name {
 			delete(c.workloads, k)

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -361,9 +362,17 @@ func writeResult(w http.ResponseWriter, status int, v any) {
 	if raw, err := json.Marshal(v); err == nil {
 		var mirror map[string]json.RawMessage
 		if json.Unmarshal(raw, &mirror) == nil {
-			for k, val := range mirror {
+			// Sorted-key iteration keeps the mirroring self-evidently
+			// deterministic (apulint detmaporder); the cost is a handful
+			// of top-level field names per response.
+			keys := make([]string, 0, len(mirror))
+			for k := range mirror {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
 				if k != "result" && k != "error" {
-					body[k] = val
+					body[k] = mirror[k]
 				}
 			}
 		}

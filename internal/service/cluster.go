@@ -250,6 +250,7 @@ func (c *clusterRouter) drop(name string) (catalog.Info, error) {
 	}
 	info := c.infoLocked(sr)
 	delete(c.rels, name)
+	//apulint:ignore detmaporder(invalidation deletes a key set; the surviving map contents are the same whatever order the keys are visited in)
 	for k := range c.workloads {
 		if k.r == name || k.s == name {
 			delete(c.workloads, k)
@@ -459,6 +460,7 @@ func (c *clusterRouter) execJoin(ctx context.Context, job *clusterJob) (*core.Re
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
+		//apulint:ignore nakedgo(network fan-out: one HTTP call per shard server, joined by wg.Wait before any result is read; the CPU-parallel work runs on each server's pool)
 		go func(i int) {
 			defer wg.Done()
 			var resp api.JoinResponse
@@ -669,6 +671,7 @@ func (c *clusterRouter) execPipeline(ctx context.Context, pj *clusterPipeJob) (*
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
+		//apulint:ignore nakedgo(network fan-out: one HTTP call per shard server, joined by wg.Wait before any result is read; the CPU-parallel work runs on each server's pool)
 		go func(i int) {
 			defer wg.Done()
 			var resp api.JoinResponse

@@ -261,6 +261,7 @@ func (t *router) drop(name string) (catalog.Info, error) {
 	}
 	info := t.infoLocked(sr)
 	delete(t.rels, name)
+	//apulint:ignore detmaporder(invalidation deletes a key set; the surviving map contents are the same whatever order the keys are visited in)
 	for k := range t.workloads {
 		if k.r == name || k.s == name {
 			delete(t.workloads, k)

@@ -880,6 +880,7 @@ func (s *Service) submitResolved(ctx context.Context, res []resolvedSpec, batch 
 	for i, q := range qs {
 		rs := res[i]
 		rs.opt.Pool = s.pool
+		//apulint:ignore nakedgo(query lifecycle goroutine, tracked by s.wg and cancelled via qctx; the query's data parallelism still runs on the pool)
 		go s.run(ctxs[i], q, rs, admitted[i])
 	}
 	return qs, nil
