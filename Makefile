@@ -51,26 +51,27 @@ bench-json:
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > BENCH_parallel.json
 	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse|BenchmarkShardedScaleout' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > BENCH_service.json
 	( $(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan; \
-	  $(GO) test -run=NONE -bench=BenchmarkPipelineStreaming -benchmem -benchtime=3x . ) | $(BENCHJSON) > BENCH_plan.json
+	  $(GO) test -run=NONE -bench='BenchmarkPipelineStreaming|BenchmarkSpillVsResident' -benchmem -benchtime=3x . ) | $(BENCHJSON) > BENCH_plan.json
 	@echo "wrote BENCH_parallel.json BENCH_service.json BENCH_plan.json"
 
 # CI benchmark-regression gate: rerun the benchmarks into /tmp and diff
 # them against the committed BENCH_*.json baselines; a gated time metric
 # more than BENCH_TOL slower fails the build (deterministic sim_ns/op
 # always gates; host ns/op only between like machines — see benchjson).
-# The streamed pipeline's peak_bytes/op gates with zero tolerance: its
-# resident-footprint advantage is exact and must never erode. Refresh the
-# baselines with `make bench-json` when a slowdown is intended and
-# reviewed.
+# The streamed pipeline's peak_bytes/op and the spill benchmark's
+# spill_bytes/op gate with zero tolerance: the resident-footprint
+# advantage and the spill decomposition are exact functions of data and
+# budget and must never drift. Refresh the baselines with `make
+# bench-json` when a slowdown is intended and reviewed.
 bench-check:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -run=NONE -bench=BenchmarkParallelSpeedup -benchmem -benchtime=1x . | $(BENCHJSON) > /tmp/apujoin-bench-parallel.json
 	$(GO) test -run=NONE -bench='BenchmarkServiceThroughput|BenchmarkCatalogReuse|BenchmarkShardedScaleout' -benchmem -benchtime=4x ./internal/service | $(BENCHJSON) > /tmp/apujoin-bench-service.json
 	( $(GO) test -run=NONE -bench='BenchmarkPlannerAmortization|BenchmarkPipelineOrdering' -benchmem -benchtime=3x ./internal/plan; \
-	  $(GO) test -run=NONE -bench=BenchmarkPipelineStreaming -benchmem -benchtime=3x . ) | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
+	  $(GO) test -run=NONE -bench='BenchmarkPipelineStreaming|BenchmarkSpillVsResident' -benchmem -benchtime=3x . ) | $(BENCHJSON) > /tmp/apujoin-bench-plan.json
 	$(BENCHJSON) -compare BENCH_parallel.json /tmp/apujoin-bench-parallel.json -tol $(BENCH_TOL)
 	$(BENCHJSON) -compare BENCH_service.json /tmp/apujoin-bench-service.json -tol $(BENCH_TOL)
-	$(BENCHJSON) -compare BENCH_plan.json /tmp/apujoin-bench-plan.json -tol $(BENCH_TOL) -tol-metric peak_bytes/op=0
+	$(BENCHJSON) -compare BENCH_plan.json /tmp/apujoin-bench-plan.json -tol $(BENCH_TOL) -tol-metric peak_bytes/op=0 -tol-metric spill_bytes/op=0
 
 # Promote the JSONs bench-check just measured to the baseline filenames
 # without re-running the benchmarks (CI runs bench-check first, then this

@@ -13,9 +13,8 @@
 // catalog plus per-shard gauges under "shard_catalogs".
 //
 // Every response uses one JSON envelope: successes carry the payload under
-// "result" (object payloads keep a deprecated top-level mirror of their
-// fields for one release), failures carry {"error": {"code", "message"}}
-// with a deprecated top-level "status" mirror.
+// "result", failures carry {"error": {"code", "message"}}. The deprecated
+// top-level mirrors of the payload fields and of the HTTP status are gone.
 //
 // Endpoints (the full wire reference lives in docs/API.md):
 //

@@ -142,10 +142,10 @@ func (e *Engine) Register(name string, g Gen) (RelationInfo, error) {
 // registered build relation of: the given fraction of its tuples carry
 // keys present in the build side, with g's skew applied — exactly
 // g.Probe(build, selectivity), so the result is bit-identical to inline
-// generation from the same spec. A sharded engine regenerates the build
-// side from its stored spec first (probes anchored on bulk-loaded
-// relations are rejected there — a loaded relation has no spec to
-// regenerate from in original tuple order).
+// generation from the same spec. A sharded engine rebuilds the build side
+// in original tuple order first — regenerated from its stored spec, or,
+// for a bulk-loaded relation, reassembled from its partition entries via
+// the recorded ingest order.
 func (e *Engine) RegisterProbe(name, of string, g Gen, selectivity float64) (RelationInfo, error) {
 	return e.svc.RegisterProbe(name, of, g, selectivity)
 }

@@ -371,6 +371,42 @@ func (c *Catalog) Reserve(bytes int64) error {
 	return nil
 }
 
+// ReserveTransient charges up to bytes of transient spill working memory
+// and returns the amount actually charged — possibly zero. Unlike Reserve
+// it never fails: the spill path's irreducible working set (a single
+// probe chunk's intermediate, or one heavy key's matches) must
+// materialize even when it exceeds the remaining headroom, so the excess
+// becomes an overdraft reported through the spiller's own peak gauge
+// rather than an error. The caller must hand the returned amount — not
+// its demand — back to Unreserve.
+func (c *Catalog) ReserveTransient(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if free := c.zc.Capacity - c.zc.Used(); free < bytes {
+		bytes = free
+	}
+	if bytes <= 0 || c.zc.Alloc(bytes) != nil {
+		return 0
+	}
+	if c.zc.Used() > c.peakBytes {
+		c.peakBytes = c.zc.Used()
+	}
+	return bytes
+}
+
+// Headroom returns the unused resident budget — the largest reservation
+// that could succeed right now. The hybrid-hash spill path sizes its
+// residency budget with it when a Reserve has just failed: whatever fits
+// stays resident, the rest goes through the simulated spill store.
+func (c *Catalog) Headroom() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zc.Capacity - c.zc.Used()
+}
+
 // Unreserve returns bytes taken by Reserve to the resident budget.
 func (c *Catalog) Unreserve(bytes int64) {
 	if bytes <= 0 {

@@ -183,9 +183,8 @@ func (p *Pool) jitter(d time.Duration) time.Duration {
 	return time.Duration(p.rng.Int63n(int64(d)/2 + 1))
 }
 
-// envelope mirrors the /v1 response envelope: the payload under "result",
-// or a structured error. The one-release top-level field mirrors are
-// ignored.
+// envelope is the /v1 response envelope: the payload under "result", or a
+// structured error.
 type envelope struct {
 	Result json.RawMessage `json:"result"`
 	Error  *struct {

@@ -368,6 +368,16 @@ type Result struct {
 	// ZeroCopyBytes is the footprint charged to the zero-copy buffer.
 	ZeroCopyBytes int64
 
+	// SpilledPartitions, SpillBytes and SpillNS report hybrid-hash spill
+	// activity attributed to this result: partitions whose inputs
+	// round-tripped the simulated spill store, the bytes written, and the
+	// simulated I/O time (already included in TotalNS). A plain in-memory
+	// join leaves them zero; the service layer's spilled pipeline hand-off
+	// fills them on the first step executed past the overflow.
+	SpilledPartitions int64
+	SpillBytes        int64
+	SpillNS           float64
+
 	// AllocStats aggregates software-allocator activity.
 	AllocStats alloc.Stats
 }

@@ -1,0 +1,40 @@
+package cost
+
+// Simulated spill-store model: the hybrid-hash spill path writes partition
+// inputs to a simulated sequential store and reads them back when the
+// partition is processed. Like every other quantity in the simulation the
+// charges are pure functions of byte counts — no wall clock is ever read —
+// so spilled executions keep the bit-identical determinism contract.
+//
+// The bandwidths are calibrated an order of magnitude below the device
+// profiles' memory bandwidth: spilling must cost enough that the planner's
+// in-memory estimates stay preferable whenever the budget allows, which is
+// the asymmetry the hybrid strategy (resident prefix, spilled tail) exists
+// to exploit. Reads are modeled faster than writes, as on the SSDs the
+// hybrid-hash literature assumes.
+const (
+	// SpillWriteBytesPerNS and SpillReadBytesPerNS are the store's
+	// simulated sequential bandwidths in bytes per nanosecond (= GB/s).
+	SpillWriteBytesPerNS = 1.6
+	SpillReadBytesPerNS  = 3.2
+	// SpillSeekNS is the fixed simulated latency of opening one partition
+	// run, charged once per write and once per read-back.
+	SpillSeekNS = 100_000.0
+)
+
+// SpillWriteNS is the simulated cost of writing one partition run of the
+// given size to the spill store.
+func SpillWriteNS(bytes int64) float64 {
+	return SpillSeekNS + float64(bytes)/SpillWriteBytesPerNS
+}
+
+// SpillReadNS is the simulated cost of reading one partition run back.
+func SpillReadNS(bytes int64) float64 {
+	return SpillSeekNS + float64(bytes)/SpillReadBytesPerNS
+}
+
+// SpillRoundTripNS is the full simulated cost a spilled partition pays:
+// its inputs are written out once and read back once.
+func SpillRoundTripNS(bytes int64) float64 {
+	return SpillWriteNS(bytes) + SpillReadNS(bytes)
+}

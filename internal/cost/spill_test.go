@@ -1,0 +1,45 @@
+package cost
+
+import (
+	"testing"
+
+	"apujoin/internal/device"
+)
+
+// The simulated spill store is pure byte arithmetic: a seek per run open
+// plus bytes over the direction's sequential bandwidth, reads faster than
+// writes, and a round trip exactly the sum of the two.
+func TestSpillCostModel(t *testing.T) {
+	if got := SpillWriteNS(0); got != SpillSeekNS {
+		t.Errorf("SpillWriteNS(0) = %v, want the bare seek %v", got, SpillSeekNS)
+	}
+	if got := SpillReadNS(0); got != SpillSeekNS {
+		t.Errorf("SpillReadNS(0) = %v, want the bare seek %v", got, SpillSeekNS)
+	}
+	const b = 1 << 20
+	w, r := SpillWriteNS(b), SpillReadNS(b)
+	if want := SpillSeekNS + b/SpillWriteBytesPerNS; w != want {
+		t.Errorf("SpillWriteNS(%d) = %v, want %v", int64(b), w, want)
+	}
+	if want := SpillSeekNS + b/SpillReadBytesPerNS; r != want {
+		t.Errorf("SpillReadNS(%d) = %v, want %v", int64(b), r, want)
+	}
+	if r >= w {
+		t.Errorf("read (%v) should be modeled faster than write (%v)", r, w)
+	}
+	if rt := SpillRoundTripNS(b); rt != w+r {
+		t.Errorf("SpillRoundTripNS = %v, want write+read = %v", rt, w+r)
+	}
+	if SpillWriteNS(2*b) <= w || SpillReadNS(2*b) <= r {
+		t.Error("spill costs are not monotone in bytes")
+	}
+	// The calibration the hybrid strategy depends on: spilling a byte must
+	// cost more than any in-memory device moves it, or the planner would
+	// never prefer residency.
+	for _, dp := range []device.Profile{device.APUCPU(), device.APUGPU(), device.DiscreteGPU()} {
+		if SpillWriteBytesPerNS >= dp.BandwidthGBs {
+			t.Errorf("spill write bandwidth %v not below %s memory bandwidth %v",
+				SpillWriteBytesPerNS, dp.Name, dp.BandwidthGBs)
+		}
+	}
+}

@@ -5,12 +5,11 @@
 // One handler, one wire contract (documented in docs/API.md), three
 // deployment shapes.
 //
-// Success responses use the unified envelope {"result": …} (top-level
-// mirrors of the payload fields remain for one release — deprecated);
-// failures return {"error": {"code", "message"}} with a stable machine-
-// readable code. Cluster-specific failures surface as code "shard_down"
-// with HTTP 503: a query that needs a downed shard fails fast and
-// structured, never by hanging.
+// Success responses use the unified envelope {"result": …}; failures
+// return {"error": {"code", "message"}} with a stable machine-readable
+// code. Cluster-specific failures surface as code "shard_down" with HTTP
+// 503: a query that needs a downed shard fails fast and structured, never
+// by hanging.
 package httpapi
 
 import (
@@ -19,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -283,6 +281,9 @@ func response(q *service.Query) api.JoinResponse {
 			IntermediateTuples:    pi.IntermediateTuples,
 			IntermediateBytes:     pi.IntermediateBytes,
 			PeakIntermediateBytes: pi.PeakIntermediateBytes,
+			Replans:               pi.Replans,
+			SpilledPartitions:     pi.SpilledPartitions,
+			SpillBytes:            pi.SpillBytes,
 		}
 		for _, st := range pi.Steps {
 			sr := api.PipelineStepReport{
@@ -322,6 +323,7 @@ func wirePipelineParts(pp *service.PipelinePartitions) *api.PipelineParts {
 		PeakIntermediateBytes: pp.Peak,
 		IntermediateTuples:    pp.InterTuples,
 		IntermediateBytes:     pp.InterBytes,
+		SpillDepth:            pp.SpillDepth,
 	}
 	for t, row := range pp.Steps {
 		stepRow := make([]api.PartitionStep, len(row))
@@ -330,6 +332,16 @@ func wirePipelineParts(pp *service.PipelinePartitions) *api.PipelineParts {
 				Result:      api.FromResult(r),
 				BuildTuples: pp.BuildTuples[t][p],
 				ProbeTuples: pp.ProbeTuples[t][p],
+			}
+			if t < len(pp.Plans) {
+				if pi := pp.Plans[t][p]; pi != nil {
+					stepRow[p].Plan = &api.PartitionPlan{
+						Algo:        pi.Algo,
+						Scheme:      pi.Scheme,
+						CacheHit:    pi.CacheHit,
+						PredictedNS: pi.PredictedNS,
+					}
+				}
 			}
 		}
 		wire.Steps = append(wire.Steps, stepRow)
@@ -347,55 +359,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeResult emits the unified success envelope every 2xx response uses:
 //
-//	{"result": <payload>, ...}
+//	{"result": <payload>}
 //
-// For object payloads, the payload's top-level fields are additionally
-// mirrored beside "result" for one release, so clients reading the
-// pre-envelope shapes keep working while they migrate to ".result".
-//
-// Deprecated mirror: the top-level copies of the payload fields will be
-// removed in the next release; read everything under "result". Array
-// payloads (GET /v1/relations, GET /v1/queries) have no top-level fields
-// to mirror — those endpoints now return {"result": [...]} only.
+// The deprecated top-level mirrors of the payload fields (kept "for one
+// release" after the envelope unification) are gone: the payload lives
+// under "result" and nowhere else.
 func writeResult(w http.ResponseWriter, status int, v any) {
-	body := map[string]any{"result": v}
-	if raw, err := json.Marshal(v); err == nil {
-		var mirror map[string]json.RawMessage
-		if json.Unmarshal(raw, &mirror) == nil {
-			// Sorted-key iteration keeps the mirroring self-evidently
-			// deterministic (apulint detmaporder); the cost is a handful
-			// of top-level field names per response.
-			keys := make([]string, 0, len(mirror))
-			for k := range mirror {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				if k != "result" && k != "error" {
-					body[k] = mirror[k]
-				}
-			}
-		}
-	}
-	writeJSON(w, status, body)
+	writeJSON(w, status, map[string]any{"result": v})
 }
 
 // writeError emits the unified error envelope every failure path uses:
 //
-//	{"error": {"code": "...", "message": "..."}, "status": N}
+//	{"error": {"code": "...", "message": "..."}}
 //
 // "code" is a stable machine-readable identifier (bad_request, not_found,
 // conflict, no_space, queue_full, closed, too_large, unavailable,
-// shard_down, internal); "message" is human-readable. Before the envelope
-// unification, "error" was the bare message string — clients still
-// matching on it should switch to ".error.code"/".error.message".
-//
-// Deprecated mirror: the top-level "status" duplicates the HTTP status
-// code one release behind; it will be removed in the next release.
+// shard_down, internal); "message" is human-readable. The deprecated
+// top-level "status" mirror of the HTTP status code has been removed with
+// the payload mirrors — the status is on the HTTP response itself.
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]any{
-		"error":  map[string]any{"code": errorCode(status, err), "message": err.Error()},
-		"status": status,
+		"error": map[string]any{"code": errorCode(status, err), "message": err.Error()},
 	})
 }
 

@@ -27,7 +27,9 @@ func testServer(t *testing.T, opt service.Config, cfg Config) *httptest.Server {
 	return ts
 }
 
-func do(t *testing.T, method, url, body string) (int, map[string]any) {
+// doRaw performs one request and decodes the raw response envelope:
+// {"result": ...} on success, {"error": {...}} on failure.
+func doRaw(t *testing.T, method, url, body string) (int, map[string]any) {
 	t.Helper()
 	var rd *bytes.Reader
 	if body == "" {
@@ -55,6 +57,22 @@ func do(t *testing.T, method, url, body string) (int, map[string]any) {
 		m = map[string]any{"list": decoded}
 	}
 	return resp.StatusCode, m
+}
+
+// do performs one request and unwraps the envelope: object payloads come
+// back directly, array payloads under "list", error envelopes untouched
+// (read them with errMsg). The top-level field mirrors are gone, so this
+// unwrap is the only way to a payload field.
+func do(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	st, m := doRaw(t, method, url, body)
+	if res, ok := m["result"]; ok {
+		if obj, ok := res.(map[string]any); ok {
+			return st, obj
+		}
+		return st, map[string]any{"list": res}
+	}
+	return st, m
 }
 
 // errMsg extracts the unified error envelope's message; empty when the
@@ -157,7 +175,7 @@ func TestRoutesTable(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			st, resp := do(t, tc.method, ts.URL+tc.path, tc.body)
+			st, resp := doRaw(t, tc.method, ts.URL+tc.path, tc.body)
 			if st != tc.want {
 				t.Fatalf("%s %s: status %d, want %d (resp %v)", tc.method, tc.path, st, tc.want, resp)
 			}
@@ -172,9 +190,10 @@ func TestRoutesTable(t *testing.T) {
 				if errMsg(resp) == "" {
 					t.Errorf("error envelope without message: %v", resp)
 				}
-				// The deprecated top-level status mirror holds one release.
-				if resp["status"].(float64) != float64(st) {
-					t.Errorf("legacy status mirror %v != HTTP status %d", resp["status"], st)
+				// The envelope is exactly {"error": ...}: the one-release
+				// top-level "status" mirror is gone.
+				if _, ok := resp["status"]; ok {
+					t.Errorf("removed legacy status mirror still present: %v", resp)
 				}
 			} else {
 				if _, ok := resp["result"]; !ok {

@@ -53,13 +53,24 @@ const skewCostPenalty = 0.15
 // match count — only the sizes of the intermediates and with them the
 // simulated (and host) cost of the steps.
 func OrderPipeline(rels []PipeRel, stats PairStats) (order []int, ordered bool) {
+	order, _, ordered = OrderPipelineEst(rels, stats)
+	return order, ordered
+}
+
+// OrderPipelineEst is OrderPipeline, additionally returning the greedy
+// search's own per-step output estimates: ests[t-1] is the estimated match
+// count of step t (the quantity the search minimized when it picked that
+// step). The runtime compares each estimate against the step's observed
+// matches to decide mid-pipeline re-planning; ests is nil when ordered is
+// false (no statistics, no estimates).
+func OrderPipelineEst(rels []PipeRel, stats PairStats) (order []int, ests []float64, ordered bool) {
 	n := len(rels)
 	order = make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	if n < 2 || stats == nil {
-		return order, false
+		return order, nil, false
 	}
 
 	// Collect the full pairwise statistics up front; one unknown pair
@@ -75,7 +86,7 @@ func OrderPipeline(rels []PipeRel, stats PairStats) (order []int, ordered bool) 
 			}
 			w, ok := stats(i, j)
 			if !ok {
-				return order, false
+				return order, nil, false
 			}
 			sel[i][j] = float64(w.SelBucket) / selBuckets
 			skew[i][j] = w.SkewBucket
@@ -117,10 +128,97 @@ func OrderPipeline(rels []PipeRel, stats PairStats) (order []int, ordered bool) 
 	used[bi], used[bj] = true, true
 	interEst, interHC := bestOut, bestHC
 
+	tail, tailEsts := orderTail(rels, sel, skew, done, used, interEst, interHC)
+	copy(order[2:], tail)
+	ests = append([]float64{bestOut}, tailEsts...)
+	return order, ests, true
+}
+
+// estHC is a relation's estimated heavy-key multiplicity (OrderPipeline's
+// hc): share × tuples for genuinely skewed data, 1 below the low-skew
+// boundary.
+func estHC(r PipeRel) float64 {
+	if r.HeavyShare < skewLowThreshold {
+		return 1
+	}
+	return r.HeavyShare * float64(r.Tuples)
+}
+
+// OrderRemaining re-runs the orderer's greedy tail mid-pipeline: inter
+// describes the CURRENT intermediate with its observed (not estimated)
+// cardinality, done lists the source indices already consumed, and
+// remaining the indices still to probe. The returned slice is a
+// permutation of remaining, with ests[i] the estimated match count of its
+// i-th step (as OrderPipelineEst reports them); ordered=false (remaining
+// unchanged, ests nil) when any consulted pair lacks statistics, exactly
+// as OrderPipeline degrades. The final match count is unaffected by the
+// order — re-planning only resizes the remaining intermediates, now
+// anchored on a true cardinality instead of a compounded estimate.
+func OrderRemaining(inter PipeRel, rels []PipeRel, done, remaining []int, stats PairStats) (order []int, ests []float64, ordered bool) {
+	order = append([]int(nil), remaining...)
+	if len(remaining) < 2 || stats == nil {
+		return order, nil, false
+	}
+	n := len(rels)
+	sel := make([][]float64, n)
+	skew := make([][]int, n)
+	for i := range sel {
+		sel[i] = make([]float64, n)
+		skew[i] = make([]int, n)
+	}
+	// Only the (done ∪ picked, remaining) pairs are consulted; one unknown
+	// pair keeps the current order, as OrderPipeline would.
+	for _, a := range append(append([]int(nil), done...), remaining...) {
+		for _, k := range remaining {
+			if a == k {
+				continue
+			}
+			w, ok := stats(a, k)
+			if !ok {
+				return order, nil, false
+			}
+			sel[a][k] = float64(w.SelBucket) / selBuckets
+			skew[a][k] = w.SkewBucket
+		}
+	}
+	used := make([]bool, n)
+	for i := range used {
+		used[i] = true
+	}
+	for _, k := range remaining {
+		used[k] = false
+	}
+	// The observed intermediate anchors the tail: its cardinality is exact,
+	// and its heavy multiplicity is unknown (its keys already survived every
+	// prior join), so the collision term restarts from the estimator's
+	// uniform baseline.
+	tail, tailEsts := orderTail(rels, sel, skew, append([]int(nil), done...), used, float64(inter.Tuples), estHC(inter))
+	return tail, tailEsts, true
+}
+
+// orderTail is the shared greedy tail of OrderPipeline and OrderRemaining:
+// repeatedly pick the unused relation minimizing the estimated next
+// intermediate, given the accumulated chain estimate, and return the picks
+// in order alongside each pick's estimated output.
+func orderTail(rels []PipeRel, sel [][]float64, skew [][]int, done []int, used []bool, interEst, interHC float64) ([]int, []float64) {
+	n := len(rels)
+	remaining := 0
+	for k := 0; k < n; k++ {
+		if !used[k] {
+			remaining++
+		}
+	}
+	tail := make([]int, 0, remaining)
+	ests := make([]float64, 0, remaining)
+	probeCost := func(i, j int) float64 {
+		return float64(rels[j].Tuples) * (1 + skewCostPenalty*float64(skew[i][j]))
+	}
+	hc := func(i int) float64 { return estHC(rels[i]) }
+
 	// Later steps: the remaining relation minimizing the next intermediate.
-	for t := 2; t < n; t++ {
+	for t := 0; t < remaining; t++ {
 		bk := -1
-		bestOut, bestCost, bestHC = -1.0, 0.0, 1.0
+		bestOut, bestCost, bestHC := -1.0, 0.0, 1.0
 		for k := 0; k < n; k++ {
 			if used[k] {
 				continue
@@ -142,10 +240,11 @@ func OrderPipeline(rels []PipeRel, stats PairStats) (order []int, ordered bool) 
 				bestHC = math.Min(collide, out)
 			}
 		}
-		order[t] = bk
+		tail = append(tail, bk)
+		ests = append(ests, bestOut)
 		done = append(done, bk)
 		used[bk] = true
 		interEst, interHC = bestOut, bestHC
 	}
-	return order, true
+	return tail, ests
 }

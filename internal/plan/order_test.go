@@ -151,3 +151,108 @@ func TestOrderPipelinePairSwap(t *testing.T) {
 		t.Errorf("order = %v, want %v", order, want)
 	}
 }
+
+// TestOrderPipelineEstEstimates: the est slice reports exactly what the
+// greedy search minimized — one estimated match count per step, in
+// executed order — and is absent when the orderer falls back.
+func TestOrderPipelineEstEstimates(t *testing.T) {
+	rels := []PipeRel{{Tuples: 1000}, {Tuples: 1000}, {Tuples: 1000}}
+	sel := [][]int{
+		{0, 8, 1},
+		{8, 0, 8},
+		{1, 8, 0},
+	}
+	order, ests, ordered := OrderPipelineEst(rels, statsTable(sel, nil))
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	if want := []int{0, 2, 1}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if len(ests) != len(rels)-1 {
+		t.Fatalf("%d estimates for %d steps", len(ests), len(rels)-1)
+	}
+	// Step 1 probes relation 2 at selectivity 1/8 of its 1000 tuples,
+	// plus the uniform collision baseline.
+	if ests[0] != 126 {
+		t.Errorf("first step estimate %v, want 126", ests[0])
+	}
+	for i, e := range ests {
+		if e <= 0 {
+			t.Errorf("estimate %d = %v, want > 0", i, e)
+		}
+	}
+
+	_, ests, ordered = OrderPipelineEst(rels, nil)
+	if ordered || ests != nil {
+		t.Errorf("nil stats: ests %v ordered %v, want nil and false", ests, ordered)
+	}
+}
+
+// TestOrderRemainingReorders: mid-pipeline, with the intermediate's
+// cardinality now observed rather than estimated, the greedy tail places
+// the selective probe before the wide one — and anchors its estimates on
+// the observed count.
+func TestOrderRemainingReorders(t *testing.T) {
+	rels := []PipeRel{{Tuples: 1000}, {Tuples: 1000}, {Tuples: 1000}}
+	// Declared wide-first: pair (0,1) is selectivity 1.0, (0,2) is 1/8,
+	// and the remaining pairs are all 1.0.
+	sel := [][]int{
+		{0, 8, 1},
+		{8, 0, 8},
+		{1, 8, 0},
+	}
+	stats := statsTable(sel, nil)
+
+	order, ests, ordered := OrderRemaining(PipeRel{Tuples: 400}, rels, []int{0}, []int{1, 2}, stats)
+	if !ordered {
+		t.Fatal("ordered = false with full statistics")
+	}
+	if want := []int{2, 1}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("reordered tail = %v, want %v", order, want)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("%d estimates for 2 steps", len(ests))
+	}
+	// Selectivity 1/8 of relation 2's 1000 tuples plus the uniform
+	// collision baseline — the same arithmetic OrderPipelineEst reports.
+	if ests[0] != 126 {
+		t.Errorf("first tail estimate %v, want 126", ests[0])
+	}
+
+	// A single remaining step has nothing to reorder.
+	order, ests, ordered = OrderRemaining(PipeRel{Tuples: 400}, rels, []int{0, 2}, []int{1}, stats)
+	if ordered || ests != nil || !reflect.DeepEqual(order, []int{1}) {
+		t.Errorf("1-step tail: order %v ests %v ordered %v, want {1}, nil, false", order, ests, ordered)
+	}
+}
+
+// TestOrderRemainingFallsBack: one unknown pair among the consulted
+// (done ∪ remaining, remaining) combinations keeps the current order,
+// exactly as OrderPipeline falls back to declaration order; pairs wholly
+// in the past are never consulted.
+func TestOrderRemainingFallsBack(t *testing.T) {
+	rels := []PipeRel{{Tuples: 10}, {Tuples: 20}, {Tuples: 30}, {Tuples: 40}}
+	sel := [][]int{
+		{0, -1, 8, 8}, // (0,1) unknown — but 1 is already consumed
+		{-1, 0, 8, 8},
+		{8, 8, 0, 8},
+		{8, 8, 8, 0},
+	}
+	order, _, ordered := OrderRemaining(PipeRel{Tuples: 100}, rels, []int{0, 1}, []int{2, 3}, statsTable(sel, nil))
+	if !ordered {
+		t.Error("an unknown pair between two consumed sources must not matter")
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+
+	sel[0][2], sel[2][0] = -1, -1 // now a consulted (done, remaining) pair is unknown
+	order, ests, ordered := OrderRemaining(PipeRel{Tuples: 100}, rels, []int{0, 1}, []int{2, 3}, statsTable(sel, nil))
+	if ordered || ests != nil {
+		t.Error("unknown consulted pair must fall back to the current order")
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(order, want) {
+		t.Errorf("fallback order = %v, want the given remaining %v", order, want)
+	}
+}

@@ -217,6 +217,14 @@ type PipelineReport struct {
 	// high-water mark: at most one transient intermediate when streamed,
 	// every intermediate plus its catalog statistics when materialized.
 	PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
+	// Replans counts mid-pipeline re-orderings of the remaining steps;
+	// SpilledPartitions and SpillBytes describe hybrid-hash spilling under
+	// memory pressure (partitions routed through the simulated spill store
+	// and the bytes written to it). All zero when the pipeline ran fully
+	// resident under its planned order.
+	Replans           int64 `json:"replans,omitempty"`
+	SpilledPartitions int64 `json:"spilled_partitions,omitempty"`
+	SpillBytes        int64 `json:"spill_bytes,omitempty"`
 
 	// Partitions carries the raw per-partition, per-step results of a
 	// sharded pipeline asked for per_partition results.
@@ -237,6 +245,9 @@ type PipelineParts struct {
 	PeakIntermediateBytes []int64 `json:"peak_intermediate_bytes"`
 	IntermediateTuples    []int64 `json:"intermediate_tuples"`
 	IntermediateBytes     []int64 `json:"intermediate_bytes"`
+	// SpillDepth is each partition chain's deepest recursive repartitioning
+	// level (0 when the chain ran resident), indexed by partition.
+	SpillDepth []int `json:"spill_depth,omitempty"`
 }
 
 // PartitionStep is one partition's slice of one pipeline step.
@@ -244,6 +255,22 @@ type PartitionStep struct {
 	Result      PartitionResult `json:"result"`
 	BuildTuples int             `json:"build_tuples"`
 	ProbeTuples int             `json:"probe_tuples"`
+	// Plan is the partition's planner decision for the step (algo=auto and
+	// the partition did not spill), raw nanoseconds — the cluster router
+	// aggregates the per-partition plans exactly as the in-process sharded
+	// engine does, which needs bit-exact floats, not the display PlanReport.
+	Plan *PartitionPlan `json:"plan,omitempty"`
+}
+
+// PartitionPlan is the raw wire form of one partition's per-step planner
+// decision. PredictedNS stays in nanoseconds: the cluster router sums the
+// per-partition predictions in fixed partition order, and only the final
+// aggregate is ever converted for display.
+type PartitionPlan struct {
+	Algo        string  `json:"algo"`
+	Scheme      string  `json:"scheme"`
+	CacheHit    bool    `json:"cache_hit"`
+	PredictedNS float64 `json:"predicted_ns"`
 }
 
 // PartitionResult is the raw wire form of one partition's core.Result,
@@ -276,6 +303,10 @@ type PartitionResult struct {
 	CacheMisses   int64 `json:"cache_misses"`
 	ZeroCopyBytes int64 `json:"zero_copy_bytes"`
 
+	SpilledPartitions int64   `json:"spilled_partitions,omitempty"`
+	SpillBytes        int64   `json:"spill_bytes,omitempty"`
+	SpillNS           float64 `json:"spill_ns,omitempty"`
+
 	Allocs        int64 `json:"allocs"`
 	AllocWords    int64 `json:"alloc_words"`
 	GlobalAtomics int64 `json:"global_atomics"`
@@ -286,29 +317,32 @@ type PartitionResult struct {
 // FromResult projects a core.Result onto its raw wire form.
 func FromResult(r *core.Result) PartitionResult {
 	return PartitionResult{
-		Algo:           int(r.Algo),
-		Scheme:         int(r.Scheme),
-		Arch:           int(r.Arch),
-		Matches:        r.Matches,
-		PartitionNS:    r.PartitionNS,
-		BuildNS:        r.BuildNS,
-		ProbeNS:        r.ProbeNS,
-		MergeNS:        r.MergeNS,
-		TransferNS:     r.TransferNS,
-		TotalNS:        r.TotalNS,
-		EstimatedNS:    r.EstimatedNS,
-		LockOverheadNS: r.LockOverheadNS,
-		EstPartitionNS: r.EstPartitionNS,
-		EstBuildNS:     r.EstBuildNS,
-		EstProbeNS:     r.EstProbeNS,
-		CacheAccesses:  r.Cache.Accesses,
-		CacheMisses:    r.Cache.Misses,
-		ZeroCopyBytes:  r.ZeroCopyBytes,
-		Allocs:         r.AllocStats.Allocs,
-		AllocWords:     r.AllocStats.Words,
-		GlobalAtomics:  r.AllocStats.GlobalAtomics,
-		LocalOps:       r.AllocStats.LocalOps,
-		WastedWords:    r.AllocStats.WastedWords,
+		Algo:              int(r.Algo),
+		Scheme:            int(r.Scheme),
+		Arch:              int(r.Arch),
+		Matches:           r.Matches,
+		PartitionNS:       r.PartitionNS,
+		BuildNS:           r.BuildNS,
+		ProbeNS:           r.ProbeNS,
+		MergeNS:           r.MergeNS,
+		TransferNS:        r.TransferNS,
+		TotalNS:           r.TotalNS,
+		EstimatedNS:       r.EstimatedNS,
+		LockOverheadNS:    r.LockOverheadNS,
+		EstPartitionNS:    r.EstPartitionNS,
+		EstBuildNS:        r.EstBuildNS,
+		EstProbeNS:        r.EstProbeNS,
+		CacheAccesses:     r.Cache.Accesses,
+		CacheMisses:       r.Cache.Misses,
+		ZeroCopyBytes:     r.ZeroCopyBytes,
+		SpilledPartitions: r.SpilledPartitions,
+		SpillBytes:        r.SpillBytes,
+		SpillNS:           r.SpillNS,
+		Allocs:            r.AllocStats.Allocs,
+		AllocWords:        r.AllocStats.Words,
+		GlobalAtomics:     r.AllocStats.GlobalAtomics,
+		LocalOps:          r.AllocStats.LocalOps,
+		WastedWords:       r.AllocStats.WastedWords,
 	}
 }
 
@@ -330,6 +364,9 @@ func (pr PartitionResult) ToResult() *core.Result {
 		EstProbeNS:     pr.EstProbeNS,
 		ZeroCopyBytes:  pr.ZeroCopyBytes,
 	}
+	r.SpilledPartitions = pr.SpilledPartitions
+	r.SpillBytes = pr.SpillBytes
+	r.SpillNS = pr.SpillNS
 	r.PartitionNS = pr.PartitionNS
 	r.BuildNS = pr.BuildNS
 	r.ProbeNS = pr.ProbeNS

@@ -704,11 +704,27 @@ func (c *clusterRouter) execPipeline(ctx context.Context, pj *clusterPipeJob) (*
 		idx := t - 1
 		parts := make([]*core.Result, shard.Partitions)
 		buildT, probeT := 0, 0
+		var pinfo *PlanInfo
+		cacheHit := true
 		for p := range parts {
 			ps := resps[shard.Owner(p, n)].Pipeline.Partitions.Steps[idx][p]
 			parts[p] = ps.Result.ToResult()
 			buildT += ps.BuildTuples
 			probeT += ps.ProbeTuples
+			// The same aggregation the in-process sharded engine applies to
+			// its per-partition plans: representative algo/scheme from the
+			// lowest planned partition, predictions summed in partition
+			// order, cache_hit only when every planned partition hit.
+			if pl := ps.Plan; pl != nil {
+				if pinfo == nil {
+					pinfo = &PlanInfo{Algo: pl.Algo, Scheme: pl.Scheme}
+				}
+				pinfo.PredictedNS += pl.PredictedNS
+				cacheHit = cacheHit && pl.CacheHit
+			}
+		}
+		if pinfo != nil {
+			pinfo.CacheHit = cacheHit
 		}
 		merged := shard.MergeResults(parts)
 		build := pj.names[pj.order[0]]
@@ -722,8 +738,12 @@ func (c *clusterRouter) execPipeline(ctx context.Context, pj *clusterPipeJob) (*
 			ProbeTuples: probeT,
 			OutTuples:   merged.Matches,
 			Result:      merged,
+			Plan:        pinfo,
 		})
 		res.TotalNS += merged.TotalNS
+		res.SpilledPartitions += merged.SpilledPartitions
+		res.SpillBytes += merged.SpillBytes
+		res.SpillNS += merged.SpillNS
 		if t == nSrc-1 {
 			res.Final = merged
 		}
@@ -733,6 +753,9 @@ func (c *clusterRouter) execPipeline(ctx context.Context, pj *clusterPipeJob) (*
 		res.IntermediateTuples += pp.IntermediateTuples[p]
 		res.IntermediateBytes += pp.IntermediateBytes[p]
 		res.PeakIntermediateBytes += pp.PeakIntermediateBytes[p]
+		if len(pp.SpillDepth) == shard.Partitions && pp.SpillDepth[p] > res.SpillDepth {
+			res.SpillDepth = pp.SpillDepth[p]
+		}
 	}
 	return res, nil
 }

@@ -119,6 +119,20 @@ type PipelineResult struct {
 	// the number the streamed path exists to shrink: Σ over all steps
 	// becomes max over single steps, with no statistics at all.
 	PeakIntermediateBytes int64
+	// Replans counts mid-pipeline re-orderings: after a step whose observed
+	// matches deviated from the orderer's estimate beyond the re-plan
+	// threshold, the remaining steps were re-ordered around the true
+	// cardinality. The final match count is unaffected; only the remaining
+	// intermediates (and their costs) change.
+	Replans int64
+	// SpilledPartitions, SpillBytes and SpillNS aggregate the hybrid-hash
+	// spill activity of the whole pipeline (see Result's fields of the same
+	// names); SpillDepth is the deepest repartitioning level the spiller
+	// reached (0 when nothing spilled).
+	SpilledPartitions int64
+	SpillBytes        int64
+	SpillNS           float64
+	SpillDepth        int
 	// Partitions holds the raw per-partition breakdown when the pipeline
 	// was submitted with PipelineSpec.KeepPartitions on a sharded service
 	// (nil otherwise). A cluster router rebuilds each step's merged result
@@ -136,8 +150,14 @@ type PipelineResult struct {
 type PipelinePartitions struct {
 	Steps                    [][]*core.Result
 	BuildTuples, ProbeTuples [][]int
-	Peak                     []int64
-	InterTuples, InterBytes  []int64
+	// Plans[t][p] is partition p's planner decision for step t (nil when the
+	// step was not auto-planned, met an empty side, or spilled) — the raw
+	// inputs of the merged step's aggregate PlanInfo.
+	Plans                   [][]*PlanInfo
+	Peak                    []int64
+	InterTuples, InterBytes []int64
+	// SpillDepth is each partition chain's deepest repartitioning level.
+	SpillDepth []int
 }
 
 // PipelineInfo is the JSON-friendly snapshot of a pipeline query for
@@ -151,6 +171,9 @@ type PipelineInfo struct {
 	IntermediateTuples    int64              `json:"intermediate_tuples"`
 	IntermediateBytes     int64              `json:"intermediate_bytes"`
 	PeakIntermediateBytes int64              `json:"peak_intermediate_bytes"`
+	Replans               int64              `json:"replans"`
+	SpilledPartitions     int64              `json:"spilled_partitions"`
+	SpillBytes            int64              `json:"spill_bytes"`
 }
 
 // PipelineStepInfo is the snapshot of one pipeline step.
@@ -174,6 +197,9 @@ func pipelineInfo(p *PipelineResult) *PipelineInfo {
 		IntermediateTuples:    p.IntermediateTuples,
 		IntermediateBytes:     p.IntermediateBytes,
 		PeakIntermediateBytes: p.PeakIntermediateBytes,
+		Replans:               p.Replans,
+		SpilledPartitions:     p.SpilledPartitions,
+		SpillBytes:            p.SpillBytes,
 	}
 	for _, st := range p.Steps {
 		si := PipelineStepInfo{
@@ -312,21 +338,25 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 		order[i] = i
 	}
 	ordered := false
+	var ests []float64
+	var rels []plan.PipeRel
+	var pairStats plan.PairStats
 	if !pj.declared {
-		rels := make([]plan.PipeRel, n)
+		rels = make([]plan.PipeRel, n)
 		for i, src := range pj.sources {
 			rels[i] = plan.PipeRel{Tuples: src.rel.Len()}
 			if src.entry != nil {
 				rels[i].HeavyShare = src.entry.HeavyShare()
 			}
 		}
-		order, ordered = plan.OrderPipeline(rels, func(i, j int) (plan.Workload, bool) {
+		pairStats = func(i, j int) (plan.Workload, bool) {
 			bi, pi := pj.sources[i].entry, pj.sources[j].entry
 			if bi == nil || pi == nil {
 				return plan.Workload{}, false
 			}
 			return s.catalog.Workload(bi, pi), true
-		})
+		}
+		order, ests, ordered = plan.OrderPipelineEst(rels, pairStats)
 	}
 
 	res := &PipelineResult{Order: order, Ordered: ordered, Streamed: !pj.materialized}
@@ -363,15 +393,16 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 		probe := pj.sources[order[t]]
 		stepOpt := opt
 		var pinfo *PlanInfo
+		var stepFP plan.Fingerprint
 		if auto {
 			var pl *core.Plan
 			var hit bool
 			var perr error
 			if cur.entry != nil && probe.entry != nil {
 				w := s.catalog.Workload(cur.entry, probe.entry)
-				pl, _, hit, perr = s.planner.PlanWorkload(ctx, cur.rel, probe.rel, stepOpt, w)
+				pl, stepFP, hit, perr = s.planner.PlanWorkload(ctx, cur.rel, probe.rel, stepOpt, w)
 			} else {
-				pl, _, hit, perr = s.planner.Plan(ctx, cur.rel, probe.rel, stepOpt)
+				pl, stepFP, hit, perr = s.planner.Plan(ctx, cur.rel, probe.rel, stepOpt)
 			}
 			if perr != nil {
 				return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): plan: %w", t, cur.name, probe.name, perr)
@@ -388,6 +419,12 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 		stepRes, err := core.RunCtx(ctx, cur.rel, probe.rel, stepOpt)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): %w", t, cur.name, probe.name, err)
+		}
+		if pinfo != nil {
+			// Close the planner's feedback loop: record this execution's
+			// predicted-vs-simulated error on the cache entry that
+			// predicted it.
+			s.planner.Observe(stepFP, pinfo.PredictedNS, stepRes.TotalNS)
 		}
 		res.Steps = append(res.Steps, PipelineStep{
 			Build:       cur.name,
@@ -409,6 +446,26 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 				t, cur.name, probe.name, stepRes.Matches)
 		}
 
+		// Mid-pipeline re-planning: the orderer predicted this step's output
+		// when it chose the order; when the observation deviates beyond the
+		// threshold and at least two steps remain (one remaining step has no
+		// order to choose), the greedy tail re-runs anchored on the TRUE
+		// cardinality. Every input is a pure function of the data, so the
+		// decision — like the order itself — is identical for any worker
+		// count.
+		if ordered && n-1-t >= 2 && t-1 < len(ests) {
+			pred := ests[t-1]
+			if obs := float64(stepRes.Matches); math.Abs(obs-pred) > replanDeviation*math.Max(pred, 1) {
+				interRel := plan.PipeRel{Tuples: int(stepRes.Matches)}
+				newTail, newEsts, ok := plan.OrderRemaining(interRel, rels, order[:t+1], order[t+1:], pairStats)
+				if ok {
+					copy(order[t+1:], newTail)
+					copy(ests[t:], newEsts)
+					res.Replans++
+				}
+			}
+		}
+
 		if !pj.materialized {
 			// Streamed hand-off. The per-key state of the finished step's
 			// build side is all the producer needs from cur: once it is
@@ -423,13 +480,20 @@ func (s *Service) execPipeline(ctx context.Context, pj *pipeJob, opt core.Option
 				curTransient = 0
 			}
 			// The step's exact match count is known before anything is
-			// allocated: reserving up front rejects an intermediate the
-			// residency budget cannot hold — same ErrNoSpace as the
-			// materialized path — before any host allocation happens.
+			// allocated: reserving up front detects an intermediate the
+			// residency budget cannot hold — before any host allocation
+			// happens. Instead of failing with ErrNoSpace as the
+			// materialized path does, the streamed path degrades: the
+			// hybrid-hash spiller partitions the remaining chain into the
+			// simulated spill store and finishes under whatever headroom is
+			// left.
 			bytes := stepRes.Matches * 8
 			if err := s.catalog.Reserve(bytes); err != nil {
-				return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
-					t, cur.name, probe.name, stepRes.Matches, err)
+				if !errors.Is(err, catalog.ErrNoSpace) {
+					return nil, fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+						t, cur.name, probe.name, stepRes.Matches, err)
+				}
+				return s.spillRemainder(ctx, res, pj, order, t, cur, probe, opt, auto)
 			}
 			reserved += bytes
 			inter := core.StreamMaterialize(opt.Pool, counts, probe.rel)

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -38,9 +39,20 @@ type router struct {
 	// partition's plan cache evolves identically for any shard count.
 	planners [shard.Partitions]*plan.Planner
 
+	// partBudget is the per-partition share of the TOTAL configured budget
+	// (total / shard.Partitions, independent of the shard count). The spill
+	// path triggers on it rather than on a shard catalog's physical
+	// headroom: which partition chains spill — and therefore every spilled
+	// number — must be a pure function of the data and the total budget,
+	// never of how partitions happen to be packed into shards.
+	partBudget int64
+
 	mu        sync.Mutex
 	rels      map[string]*shardedRel
 	workloads map[routerPairKey]plan.Workload
+	// partBytes tracks the registered relation bytes resident per fixed
+	// grid partition, backing partitionBudget.
+	partBytes [shard.Partitions]int64
 
 	registered, dropped, reuses int64
 }
@@ -60,7 +72,18 @@ type shardedRel struct {
 	probeOf string
 	sel     float64
 
+	// order records, for bulk-loaded relations only, each original tuple
+	// position's fixed grid partition (one byte per tuple). The partition
+	// split preserves within-partition relative order, so walking order
+	// with per-partition cursors reassembles the exact original relation —
+	// what a probe registration against a loaded build side needs. Written
+	// once at register, immutable after.
+	order []uint8
+
 	tuples int
+	// partBytes is the relation's resident bytes per fixed grid partition,
+	// unwound from the router's partition gauges at drop.
+	partBytes [shard.Partitions]int64
 	// sample, index, skewBucket and heavyShare are measured on the FULL
 	// relation at ingest — identical to what the unsharded catalog stores —
 	// so sharded pair workloads land in the same plan-cache buckets as
@@ -102,6 +125,11 @@ func newRouter(cfg Config) *router {
 		catalogs:  make([]*catalog.Catalog, shards),
 		rels:      make(map[string]*shardedRel),
 		workloads: make(map[routerPairKey]plan.Workload),
+		// An even partition split of the total budget. With the default
+		// even shard split this is total/Partitions for every shard count;
+		// an explicit ShardBudget makes the total (and with it the spill
+		// thresholds) a property of the configured topology.
+		partBudget: budget * int64(shards) / shard.Partitions,
 	}
 	for i := range t.catalogs {
 		t.catalogs[i] = catalog.New(budget)
@@ -176,18 +204,21 @@ func (t *router) precheck(name string, n int) error {
 	return nil
 }
 
-// fullRelation rebuilds a registered relation in its original tuple order
-// from its stored generation chain. Probe generation indexes the build
-// side by original position, which the partition split does not preserve —
-// so the router regenerates instead of reassembling. Bulk-loaded
-// relations have no spec to regenerate from and cannot anchor a probe
-// registration on a sharded service.
+// fullRelation rebuilds a registered relation in its original tuple order.
+// Probe generation indexes the build side by original position, which the
+// partition split does not preserve, so the router walks the provenance
+// chain: generated bases regenerate from their stored specs, bulk-loaded
+// bases reassemble from their partition entries via the ingest-time order
+// map (see shardedRel.order), and probe links re-apply on top. Either base
+// yields the relation bit-identical to the unsharded catalog's resident
+// copy.
 func (t *router) fullRelation(name string) (rel.Relation, error) {
 	type link struct {
 		gen rel.Gen
 		sel float64
 	}
 	var chain []link
+	var loaded *shardedRel
 	t.mu.Lock()
 	cur, ok := t.rels[name]
 	for {
@@ -195,25 +226,80 @@ func (t *router) fullRelation(name string) (rel.Relation, error) {
 			t.mu.Unlock()
 			return rel.Relation{}, fmt.Errorf("%w: %q", catalog.ErrNotFound, name)
 		}
+		if cur.source == catalog.Loaded {
+			loaded = cur
+			break
+		}
 		chain = append(chain, link{gen: cur.gen, sel: cur.sel})
 		if cur.source == catalog.Generated {
 			break
 		}
-		if cur.source != catalog.Probe {
-			n := cur.name
-			t.mu.Unlock()
-			return rel.Relation{}, fmt.Errorf("catalog: %q was bulk-loaded; a sharded service regenerates relations from their specs and cannot reassemble a loaded relation in original order", n)
-		}
 		cur, ok = t.rels[cur.probeOf]
 	}
 	t.mu.Unlock()
-	// Rebuild from the generated base down the probe chain, outside the
-	// lock (generation is the expensive part).
-	r := chain[len(chain)-1].gen.Build()
-	for i := len(chain) - 2; i >= 0; i-- {
+	// Rebuild the base outside the lock (generation and reassembly are the
+	// expensive part), then re-apply the probe chain on top.
+	var r rel.Relation
+	if loaded != nil {
+		var err error
+		if r, err = t.reassemble(loaded); err != nil {
+			return rel.Relation{}, err
+		}
+	} else {
+		r = chain[len(chain)-1].gen.Build()
+		chain = chain[:len(chain)-1]
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
 		r = chain[i].gen.Probe(r, chain[i].sel)
 	}
 	return r, nil
+}
+
+// reassemble reconstructs a bulk-loaded relation in its original tuple
+// order: pin every partition entry, then walk the ingest-time order map
+// with one cursor per partition — the split preserves within-partition
+// relative order, so tuple i is the next unconsumed tuple of its recorded
+// partition.
+func (t *router) reassemble(sr *shardedRel) (rel.Relation, error) {
+	t.mu.Lock()
+	if t.rels[sr.name] != sr {
+		t.mu.Unlock()
+		return rel.Relation{}, fmt.Errorf("%w: %q", catalog.ErrNotFound, sr.name)
+	}
+	ents := make([]*catalog.Entry, shard.Partitions)
+	for p := 0; p < shard.Partitions; p++ {
+		e, err := t.catalogOf(p).Acquire(partName(sr.name, p))
+		if err != nil {
+			for q := 0; q < p; q++ {
+				ents[q].Release()
+			}
+			t.mu.Unlock()
+			return rel.Relation{}, fmt.Errorf("shard %d: %w", shard.Owner(p, t.shards), err)
+		}
+		ents[p] = e
+	}
+	t.mu.Unlock()
+	defer func() {
+		for _, e := range ents {
+			e.Release()
+		}
+	}()
+	out := rel.Relation{
+		RIDs: make([]int32, 0, len(sr.order)),
+		Keys: make([]int32, 0, len(sr.order)),
+	}
+	var parts [shard.Partitions]rel.Relation
+	for p, e := range ents {
+		parts[p] = e.Relation()
+	}
+	var cursors [shard.Partitions]int
+	for _, p := range sr.order {
+		i := cursors[p]
+		out.RIDs = append(out.RIDs, parts[p].RIDs[i])
+		out.Keys = append(out.Keys, parts[p].Keys[i])
+		cursors[p]++
+	}
+	return out, nil
 }
 
 // register measures the full-relation ingest statistics, splits the
@@ -227,6 +313,16 @@ func (t *router) register(sr *shardedRel, full rel.Relation) (catalog.Info, erro
 	sr.index = full.Index()
 	sr.skewBucket = plan.SkewBucketOf(sr.sample)
 	sr.heavyShare = catalog.HeavyShareOf(sr.sample)
+	if sr.source == catalog.Loaded {
+		// Loaded relations have no spec to regenerate from, so the split's
+		// inverse is recorded instead: each tuple's partition, one byte per
+		// tuple, enough to reassemble the original order for probe
+		// registrations against this relation.
+		sr.order = make([]uint8, full.Len())
+		for i, k := range full.Keys {
+			sr.order[i] = uint8(shard.PartitionOf(k))
+		}
+	}
 	parts := shard.Split(full)
 
 	t.mu.Lock()
@@ -236,11 +332,18 @@ func (t *router) register(sr *shardedRel, full rel.Relation) (catalog.Info, erro
 	}
 	for p := 0; p < shard.Partitions; p++ {
 		if _, err := t.catalogOf(p).Load(partName(sr.name, p), parts[p]); err != nil {
+			// All-or-nothing: roll back every partition already loaded so a
+			// failed registration leaves no bytes, no names and no gauges
+			// behind.
 			for q := 0; q < p; q++ {
 				t.catalogOf(q).Drop(partName(sr.name, q))
 			}
 			return catalog.Info{}, fmt.Errorf("shard %d: %w", shard.Owner(p, t.shards), err)
 		}
+	}
+	for p := 0; p < shard.Partitions; p++ {
+		sr.partBytes[p] = parts[p].Bytes()
+		t.partBytes[p] += sr.partBytes[p]
 	}
 	sr.created = time.Now()
 	t.rels[sr.name] = sr
@@ -269,9 +372,28 @@ func (t *router) drop(name string) (catalog.Info, error) {
 	}
 	for p := 0; p < shard.Partitions; p++ {
 		t.catalogOf(p).Drop(partName(name, p))
+		t.partBytes[p] -= sr.partBytes[p]
 	}
 	t.dropped++
 	return info, nil
+}
+
+// partitionBudget returns partition p's residency budget for transient
+// pipeline intermediates: its even share of the total configured budget
+// minus the relation bytes registered into it. The spill path compares
+// intermediates against this — a pure function of the registered data and
+// the total budget — so spill decisions are identical for any shard count
+// and any concurrent interleaving. Summed over a shard's owned partitions
+// the thresholds never exceed the shard catalog's free capacity, which is
+// what makes the thresholds physically honorable.
+func (t *router) partitionBudget(p int) int64 {
+	t.mu.Lock()
+	b := t.partBudget - t.partBytes[p]
+	t.mu.Unlock()
+	if b < 0 {
+		return 0
+	}
+	return b
 }
 
 // get snapshots one registered relation.
@@ -387,13 +509,14 @@ func (t *router) workload(r, s *shardedRel) plan.Workload {
 // partition's plan-cache evolution — and with it every planned decision —
 // is identical for any shard count. w, when non-nil, carries the
 // full-relation pair workload (named pairs); nil measures the partition.
-func (t *router) planFor(ctx context.Context, p int, r, s rel.Relation, opt core.Options, w *plan.Workload) (*core.Plan, error) {
+// fp and hit expose the cache interaction so callers can report the
+// decision (per-step PlanInfo) and write the observed prediction error
+// back after the sub-join runs.
+func (t *router) planFor(ctx context.Context, p int, r, s rel.Relation, opt core.Options, w *plan.Workload) (pl *core.Plan, fp plan.Fingerprint, hit bool, err error) {
 	if w != nil {
-		pl, _, _, err := t.planners[p].PlanWorkload(ctx, r, s, opt, *w)
-		return pl, err
+		return t.planners[p].PlanWorkload(ctx, r, s, opt, *w)
 	}
-	pl, _, _, err := t.planners[p].Plan(ctx, r, s, opt)
-	return pl, err
+	return t.planners[p].Plan(ctx, r, s, opt)
 }
 
 // stats aggregates the router's catalog surface: the logical totals
@@ -502,14 +625,19 @@ func (s *Service) execShardedJoin(ctx context.Context, job *shardJob, opt core.O
 			return partOut{res: emptyPartResult(opt)}
 		}
 		popt := opt
+		var fp plan.Fingerprint
 		if auto {
-			pl, err := s.router.planFor(ctx, p, job.rParts[p], job.sParts[p], popt, job.workload)
+			pl, pfp, _, err := s.router.planFor(ctx, p, job.rParts[p], job.sParts[p], popt, job.workload)
 			if err != nil {
 				return partOut{err: err}
 			}
 			popt.Plan = pl
+			fp = pfp
 		}
 		res, err := core.RunCtx(ctx, job.rParts[p], job.sParts[p], popt)
+		if err == nil && popt.Plan != nil {
+			s.router.planners[p].Observe(fp, popt.Plan.PredictedNS, res.TotalNS)
+		}
 		return partOut{res: res, err: err}
 	})
 	parts = make([]*core.Result, shard.Partitions)
@@ -597,9 +725,16 @@ func (s *Service) resolveShardedPipeline(spec PipelineSpec) (resolvedSpec, error
 type partChain struct {
 	steps                    []*core.Result
 	buildTuples, probeTuples []int
-	interTuples, interBytes  int64
-	peak                     int64
-	err                      error
+	// plans records the partition planner's decision per step (auto only):
+	// nil for skipped empty-side steps and for steps the spiller re-ran.
+	// Always the same length as steps.
+	plans                   []*PlanInfo
+	interTuples, interBytes int64
+	peak                    int64
+	// spillDepth is the deepest repartitioning level this chain's spiller
+	// reached (0 when nothing spilled).
+	spillDepth int
+	err        error
 }
 
 // execShardedPipeline runs a resolved pipeline on the sharded path: the
@@ -671,15 +806,33 @@ func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, o
 	}
 
 	// Merge per step across partitions, in partition order; labels and
-	// tuple counts are global (full-relation) quantities.
+	// tuple counts are global (full-relation) quantities. A step's PlanInfo
+	// aggregates the per-partition planner decisions: representative
+	// algo/scheme from the lowest non-nil partition (all partitions of one
+	// step share a fingerprint shape, so they agree in practice), predicted
+	// time summed in partition order, cache_hit only when every planned
+	// partition hit. Spilled partitions plan their sub-steps internally and
+	// contribute no PlanInfo; a step with no planned partition reports none.
 	for t := 1; t < n; t++ {
 		idx := t - 1
 		parts := make([]*core.Result, shard.Partitions)
 		buildT, probeT := 0, 0
+		var pinfo *PlanInfo
+		cacheHit := true
 		for p, c := range chains {
 			parts[p] = c.steps[idx]
 			buildT += c.buildTuples[idx]
 			probeT += c.probeTuples[idx]
+			if pi := c.plans[idx]; pi != nil {
+				if pinfo == nil {
+					pinfo = &PlanInfo{Algo: pi.Algo, Scheme: pi.Scheme}
+				}
+				pinfo.PredictedNS += pi.PredictedNS
+				cacheHit = cacheHit && pi.CacheHit
+			}
+		}
+		if pinfo != nil {
+			pinfo.CacheHit = cacheHit
 		}
 		merged := shard.MergeResults(parts)
 		build := pj.sources[order[0]].name
@@ -693,8 +846,12 @@ func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, o
 			ProbeTuples: probeT,
 			OutTuples:   merged.Matches,
 			Result:      merged,
+			Plan:        pinfo,
 		})
 		res.TotalNS += merged.TotalNS
+		res.SpilledPartitions += merged.SpilledPartitions
+		res.SpillBytes += merged.SpillBytes
+		res.SpillNS += merged.SpillNS
 		if t == n-1 {
 			res.Final = merged
 		}
@@ -703,30 +860,38 @@ func (s *Service) execShardedPipeline(ctx context.Context, pj *shardedPipeJob, o
 		res.IntermediateTuples += c.interTuples
 		res.IntermediateBytes += c.interBytes
 		res.PeakIntermediateBytes += c.peak
+		if c.spillDepth > res.SpillDepth {
+			res.SpillDepth = c.spillDepth
+		}
 	}
 	if pj.keep {
 		pp := &PipelinePartitions{
 			Steps:       make([][]*core.Result, n-1),
 			BuildTuples: make([][]int, n-1),
 			ProbeTuples: make([][]int, n-1),
+			Plans:       make([][]*PlanInfo, n-1),
 			Peak:        make([]int64, shard.Partitions),
 			InterTuples: make([]int64, shard.Partitions),
 			InterBytes:  make([]int64, shard.Partitions),
+			SpillDepth:  make([]int, shard.Partitions),
 		}
 		for idx := 0; idx < n-1; idx++ {
 			pp.Steps[idx] = make([]*core.Result, shard.Partitions)
 			pp.BuildTuples[idx] = make([]int, shard.Partitions)
 			pp.ProbeTuples[idx] = make([]int, shard.Partitions)
+			pp.Plans[idx] = make([]*PlanInfo, shard.Partitions)
 			for p, c := range chains {
 				pp.Steps[idx][p] = c.steps[idx]
 				pp.BuildTuples[idx][p] = c.buildTuples[idx]
 				pp.ProbeTuples[idx][p] = c.probeTuples[idx]
+				pp.Plans[idx][p] = c.plans[idx]
 			}
 		}
 		for p, c := range chains {
 			pp.Peak[p] = c.peak
 			pp.InterTuples[p] = c.interTuples
 			pp.InterBytes[p] = c.interBytes
+			pp.SpillDepth[p] = c.spillDepth
 		}
 		res.Partitions = pp
 	}
@@ -759,6 +924,7 @@ func (s *Service) runPartitionChain(ctx context.Context, pj *shardedPipeJob, ord
 	for t := 1; t < n; t++ {
 		probe := pj.sources[order[t]].parts[p]
 		var stepRes *core.Result
+		var pinfo *PlanInfo
 		if cur.Len() == 0 || probe.Len() == 0 {
 			// An empty side joins to nothing: skip planning and execution
 			// for this partition's step (deterministic — emptiness depends
@@ -769,17 +935,25 @@ func (s *Service) runPartitionChain(ctx context.Context, pj *shardedPipeJob, ord
 			stepRes = emptyPartResult(opt)
 		} else {
 			stepOpt := opt
+			var stepFP plan.Fingerprint
 			if auto {
 				var w *plan.Workload
 				if t == 1 {
 					w = wFirst
 				}
-				pl, err := s.router.planFor(ctx, p, cur, probe, stepOpt, w)
+				pl, fp, hit, err := s.router.planFor(ctx, p, cur, probe, stepOpt, w)
 				if err != nil {
 					c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): plan: %w", t, curName, pj.sources[order[t]].name, err)
 					return c
 				}
 				stepOpt.Plan = pl
+				stepFP = fp
+				pinfo = &PlanInfo{
+					Algo:        pl.Algo.String(),
+					Scheme:      pl.Scheme.String(),
+					CacheHit:    hit,
+					PredictedNS: pl.PredictedNS,
+				}
 			}
 
 			var err error
@@ -788,10 +962,14 @@ func (s *Service) runPartitionChain(ctx context.Context, pj *shardedPipeJob, ord
 				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): %w", t, curName, pj.sources[order[t]].name, err)
 				return c
 			}
+			if stepOpt.Plan != nil {
+				s.router.planners[p].Observe(stepFP, stepOpt.Plan.PredictedNS, stepRes.TotalNS)
+			}
 		}
 		c.steps = append(c.steps, stepRes)
 		c.buildTuples = append(c.buildTuples, cur.Len())
 		c.probeTuples = append(c.probeTuples, probe.Len())
+		c.plans = append(c.plans, pinfo)
 		if t == n-1 {
 			break
 		}
@@ -813,9 +991,28 @@ func (s *Service) runPartitionChain(ctx context.Context, pj *shardedPipeJob, ord
 				curTransient = 0
 			}
 			bytes := stepRes.Matches * 8
-			if err := cat.Reserve(bytes); err != nil {
-				c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
-					t, curName, pj.sources[order[t]].name, stepRes.Matches, err)
+			// Spill decision: against the partition's pure budget share
+			// first (shard-count invariant), and only then against physical
+			// space — which the threshold guarantees except under
+			// concurrent overload, where the fallback still degrades
+			// gracefully instead of failing.
+			budget := s.router.partitionBudget(p)
+			spill := bytes > budget
+			if !spill {
+				if err := cat.Reserve(bytes); err != nil {
+					if !errors.Is(err, catalog.ErrNoSpace) {
+						c.err = fmt.Errorf("pipeline step %d (%s ⋈ %s): intermediate of %d tuples: %w",
+							t, curName, pj.sources[order[t]].name, stepRes.Matches, err)
+						return c
+					}
+					spill = true
+					if hr := cat.Headroom(); hr < budget {
+						budget = hr
+					}
+				}
+			}
+			if spill {
+				s.spillPartitionChain(ctx, c, pj, order, p, t, cur, opt, auto, budget, cat)
 				return c
 			}
 			reserved += bytes

@@ -152,12 +152,29 @@ func TestRouterProbeChainRegeneration(t *testing.T) {
 		}
 	}
 
-	// A probe anchored on a bulk load cannot regenerate.
+	// A probe anchored on a bulk load reassembles the loaded base from its
+	// pinned partitions in original tuple order (the router records each
+	// tuple's partition at registration), so registration succeeds and the
+	// joins match the directly generated chain.
 	if _, err := svc.LoadRelation("bulk", rg.Build()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.RegisterProbe("q", "bulk", rel.Gen{N: 10, Seed: 9}, 1.0); err == nil {
-		t.Error("probe of a bulk-loaded relation registered, want error")
+	qg := rel.Gen{N: 3500, Dist: rel.HighSkew, Seed: 9}
+	if _, err := svc.RegisterProbe("q", "bulk", qg, 0.6); err != nil {
+		t.Fatalf("probe of a bulk-loaded relation: %v", err)
+	}
+	q := qg.Probe(rg.Build(), 0.6)
+	res, err := svc.RunJoin(context.Background(), JoinSpec{RName: "bulk", SName: "q", Opt: opt})
+	if err != nil {
+		t.Fatalf("bulk ⋈ q: %v", err)
+	}
+	if want := oracle.JoinCount(rg.Build(), q); res.Matches != want {
+		t.Errorf("bulk ⋈ q: matches %d, oracle %d", res.Matches, want)
+	}
+	// A probe chained on a loaded anchor through another probe regenerates
+	// too: the chain walk bottoms out at the reassembled load.
+	if _, err := svc.RegisterProbe("q2", "q", rel.Gen{N: 1500, Seed: 10}, 0.8); err != nil {
+		t.Fatalf("probe of probe-of-loaded: %v", err)
 	}
 }
 
@@ -279,8 +296,11 @@ func TestRouterShardedPipeline(t *testing.T) {
 }
 
 // TestRouterShardedPipelineBudget: a sharded pipeline whose intermediate
-// overflows a shard's budget fails with ErrNoSpace on both execution
-// paths and restores every shard's residency gauge.
+// overflows a shard's budget spills on the streamed path — completing
+// with the unconstrained matches and reporting the spill — and still
+// fails with ErrNoSpace when materialized (documented scope: the
+// materialized path pins every intermediate and cannot spill). Both
+// outcomes restore every shard's residency gauge.
 func TestRouterShardedPipelineBudget(t *testing.T) {
 	rg := rel.Gen{N: 2000, Seed: 1}
 	sg := rel.Gen{N: 2000, Seed: 2}
@@ -300,18 +320,78 @@ func TestRouterShardedPipelineBudget(t *testing.T) {
 	}
 	before := svc.Stats().Catalog.Bytes
 
+	// The unconstrained reference for the same chain.
+	r := rg.Build()
+	s := sg.Probe(r, 1.0)
+	u := ug.Probe(r, 1.0)
+	want := oracle.PipelineCount([]rel.Relation{r, s, u})
+
 	named := []PipelineSource{{Name: "r"}, {Name: "s"}, {Name: "u"}}
 	opt := core.Options{Delta: 0.25, PilotItems: 1 << 8}
-	for _, materialized := range []bool{false, true} {
-		_, err := svc.RunPipeline(context.Background(), PipelineSpec{
-			Sources: named, Opt: opt, Materialized: materialized, DeclaredOrder: true,
-		})
-		if !errors.Is(err, catalog.ErrNoSpace) {
-			t.Errorf("overflowing intermediate (materialized=%v): err %v, want catalog.ErrNoSpace", materialized, err)
-		}
+	res, err := svc.RunPipeline(context.Background(), PipelineSpec{
+		Sources: named, Opt: opt, DeclaredOrder: true,
+	})
+	if err != nil {
+		t.Fatalf("streamed pipeline under budget pressure: %v", err)
+	}
+	if res.Final.Matches != want {
+		t.Errorf("spilled pipeline: matches %d, oracle %d", res.Final.Matches, want)
+	}
+	if res.SpilledPartitions == 0 || res.SpillBytes == 0 || res.SpillNS == 0 {
+		t.Errorf("overflowing streamed pipeline reports no spill: partitions=%d bytes=%d ns=%v",
+			res.SpilledPartitions, res.SpillBytes, res.SpillNS)
+	}
+
+	_, err = svc.RunPipeline(context.Background(), PipelineSpec{
+		Sources: named, Opt: opt, Materialized: true, DeclaredOrder: true,
+	})
+	if !errors.Is(err, catalog.ErrNoSpace) {
+		t.Errorf("overflowing intermediate (materialized): err %v, want catalog.ErrNoSpace", err)
 	}
 	if after := svc.Stats().Catalog.Bytes; after != before {
-		t.Errorf("failed pipeline leaked residency: %d bytes, want %d", after, before)
+		t.Errorf("pipeline leaked residency: %d bytes, want %d", after, before)
+	}
+}
+
+// TestRouterProbeOfLoadedRollback: a probe registration anchored on a
+// bulk-loaded relation that overflows the shard budgets fails whole —
+// every shard's residency gauge restored, the name unbound — and the
+// same name registers cleanly afterwards at a size that fits.
+func TestRouterProbeOfLoadedRollback(t *testing.T) {
+	rg := rel.Gen{N: 2000, Seed: 1}
+	// 2000 loaded tuples split over 2 shards ≈ 8000 bytes per shard; a
+	// 6000-tuple probe (~24000 bytes per shard) cannot fit a 12_000-byte
+	// shard budget, while a 500-tuple probe can.
+	svc := New(Config{Workers: 2, Shards: 2, ShardBudget: 12_000})
+	defer svc.Close()
+	if _, err := svc.LoadRelation("bulk", rg.Build()); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Stats().Catalog.Bytes
+
+	if _, err := svc.RegisterProbe("p", "bulk", rel.Gen{N: 6000, Seed: 2}, 1.0); !errors.Is(err, catalog.ErrNoSpace) {
+		t.Fatalf("oversized probe of loaded: err %v, want catalog.ErrNoSpace", err)
+	}
+	if after := svc.Stats().Catalog.Bytes; after != before {
+		t.Errorf("failed probe registration leaked residency: %d bytes, want %d", after, before)
+	}
+	if _, ok := svc.RelationInfo("p"); ok {
+		t.Error("failed probe registration left the name bound")
+	}
+
+	// The reassembly pins released: the same name registers at a size that
+	// fits and joins to the oracle count.
+	if _, err := svc.RegisterProbe("p", "bulk", rel.Gen{N: 500, Seed: 2}, 1.0); err != nil {
+		t.Fatalf("re-register after rollback: %v", err)
+	}
+	p := rel.Gen{N: 500, Seed: 2}.Probe(rg.Build(), 1.0)
+	res, err := svc.RunJoin(context.Background(), JoinSpec{RName: "bulk", SName: "p",
+		Opt: core.Options{Delta: 0.25, PilotItems: 1 << 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle.JoinCount(rg.Build(), p); res.Matches != want {
+		t.Errorf("bulk ⋈ p after rollback: matches %d, oracle %d", res.Matches, want)
 	}
 }
 

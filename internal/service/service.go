@@ -176,10 +176,12 @@ type Query struct {
 	finished time.Time
 
 	// auto marks a SubmitAuto query; plan/planHit are filled once the
-	// planner has decided (just before execution starts).
+	// planner has decided (just before execution starts), planFP is the
+	// plan-cache fingerprint the observed error writes back to.
 	auto    bool
 	plan    *core.Plan
 	planHit bool
+	planFP  plan.Fingerprint
 
 	// pins holds the catalog entries a named query references; released
 	// when the query reaches a terminal state. workload carries the
@@ -369,6 +371,14 @@ type Stats struct {
 	PeakIntermediateBytesStreamed     int64 `json:"peak_intermediate_bytes_streamed"`
 	PeakIntermediateBytesMaterialized int64 `json:"peak_intermediate_bytes_materialized"`
 
+	// Replans counts mid-pipeline re-orderings across completed pipelines;
+	// SpilledPartitions and SpillBytes total the hybrid-hash spill activity
+	// of completed queries (partitions routed through the simulated spill
+	// store under memory pressure, and the bytes written to it).
+	Replans           int64 `json:"replans"`
+	SpilledPartitions int64 `json:"spilled_partitions"`
+	SpillBytes        int64 `json:"spill_bytes"`
+
 	// Queued and Active are gauges: queries waiting for admission and
 	// queries currently executing.
 	Queued int64 `json:"queued"`
@@ -394,6 +404,12 @@ type Stats struct {
 	PlanPredictedNS float64 `json:"plan_predicted_ns"`
 	PlanSimulatedNS float64 `json:"plan_simulated_ns"`
 	PlanAbsErrNS    float64 `json:"plan_abs_err_ns"`
+	// PlanObservations counts observed-error write-backs into plan cache
+	// entries (each completed auto step reports its simulated time back to
+	// the entry that predicted it); PlanObservedErr is the cache's mean
+	// relative |predicted−simulated|/simulated over those observations.
+	PlanObservations int64   `json:"plan_observations"`
+	PlanObservedErr  float64 `json:"plan_observed_err"`
 
 	// Catalog mirrors the relation catalog: resident relations, their
 	// zero-copy footprint, and how often ingest-time statistics were
@@ -607,20 +623,25 @@ func (s *Service) RunJoin(ctx context.Context, spec JoinSpec) (*core.Result, err
 		return res, err
 	}
 	opt := rs.opt
+	var fp plan.Fingerprint
 	if rs.auto {
 		var pl *core.Plan
 		var perr error
 		if rs.workload != nil {
-			pl, _, _, perr = s.planner.PlanWorkload(ctx, rs.r, rs.s, opt, *rs.workload)
+			pl, fp, _, perr = s.planner.PlanWorkload(ctx, rs.r, rs.s, opt, *rs.workload)
 		} else {
-			pl, _, _, perr = s.planner.Plan(ctx, rs.r, rs.s, opt)
+			pl, fp, _, perr = s.planner.Plan(ctx, rs.r, rs.s, opt)
 		}
 		if perr != nil {
 			return nil, perr
 		}
 		opt.Plan = pl
 	}
-	return core.RunCtx(ctx, rs.r, rs.s, opt)
+	res, err := core.RunCtx(ctx, rs.r, rs.s, opt)
+	if err == nil && opt.Plan != nil {
+		s.planner.Observe(fp, opt.Plan.PredictedNS, res.TotalNS)
+	}
+	return res, err
 }
 
 // PlanFor consults the service's shared planner and plan cache outside the
@@ -1020,9 +1041,9 @@ func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted b
 		var hit bool
 		var perr error
 		if q.workload != nil {
-			pl, _, hit, perr = s.planner.PlanWorkload(ctx, r, sr, opt, *q.workload)
+			pl, q.planFP, hit, perr = s.planner.PlanWorkload(ctx, r, sr, opt, *q.workload)
 		} else {
-			pl, _, hit, perr = s.planner.Plan(ctx, r, sr, opt)
+			pl, q.planFP, hit, perr = s.planner.Plan(ctx, r, sr, opt)
 		}
 		if perr != nil {
 			st := Failed
@@ -1041,6 +1062,11 @@ func (s *Service) run(ctx context.Context, q *Query, rs resolvedSpec, admitted b
 	res, err := core.RunCtx(ctx, r, sr, opt)
 	switch {
 	case err == nil:
+		if opt.Plan != nil {
+			// Write the observed error back into the plan cache entry that
+			// predicted this query, feeding the adaptive feedback surface.
+			s.planner.Observe(q.planFP, opt.Plan.PredictedNS, res.TotalNS)
+		}
 		s.finish(q, res, nil, Done, started)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.finish(q, nil, err, Canceled, started)
@@ -1088,6 +1114,9 @@ func (s *Service) finish(q *Query, res *core.Result, err error, st State, starte
 			s.stats.PipelineSteps += int64(len(pipe.Steps))
 			s.stats.IntermediateTuples += pipe.IntermediateTuples
 			s.stats.IntermediateBytes += pipe.IntermediateBytes
+			s.stats.Replans += pipe.Replans
+			s.stats.SpilledPartitions += pipe.SpilledPartitions
+			s.stats.SpillBytes += pipe.SpillBytes
 			if pipe.Streamed {
 				s.stats.StreamedPipelines++
 				if pipe.PeakIntermediateBytes > s.stats.PeakIntermediateBytesStreamed {
@@ -1197,6 +1226,8 @@ func (s *Service) Stats() Stats {
 	st.PlanMisses = cs.Misses
 	st.PlanEvictions = cs.Evictions
 	st.PlanEntries = cs.Entries
+	st.PlanObservations = cs.Observations
+	obsErr := cs.MeanObservedErr * float64(cs.Observations)
 	st.Catalog = s.catalog.Stats()
 	if s.cluster != nil {
 		st.Shards = s.cluster.pool.Size()
@@ -1211,9 +1242,16 @@ func (s *Service) Stats() Stats {
 			st.PlanMisses += pcs.Misses
 			st.PlanEvictions += pcs.Evictions
 			st.PlanEntries += pcs.Entries
+			st.PlanObservations += pcs.Observations
+			obsErr += pcs.MeanObservedErr * float64(pcs.Observations)
 		}
 		st.Shards = s.router.shards
 		st.Catalog, st.ShardCatalogs = s.router.stats()
+	}
+	// Cache-level means recombine as an observation-weighted average so the
+	// aggregate is the mean over ALL write-backs, whichever planner took them.
+	if st.PlanObservations > 0 {
+		st.PlanObservedErr = obsErr / float64(st.PlanObservations)
 	}
 	return st
 }

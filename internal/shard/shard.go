@@ -40,6 +40,25 @@ func PartitionOf(key int32) int {
 	return int(hash.Murmur2(uint32(key), partitionSeed) & (Partitions - 1))
 }
 
+// levelSeed derives the partitioner seed of one repartitioning level.
+// Level 0 is the fixed grid itself. Deeper levels — the spill path's
+// recursive repartitioning of an oversized partition — must hash with a
+// DIFFERENT seed per level: every key of a level-d partition shares that
+// level's hash slot by construction, so rehashing with the same seed would
+// send the whole partition back into one sub-partition. Mixing in the
+// golden-ratio constant per level decorrelates the levels while keeping
+// each a fixed pure function, so spilled executions stay deterministic.
+func levelSeed(level int) uint32 {
+	return partitionSeed + 0x9e3779b9*uint32(level)
+}
+
+// PartitionAt returns key's partition at a repartitioning level: level 0
+// is PartitionOf (the fixed grid); level d > 0 is the d-th recursive
+// sub-partitioner of the spill path.
+func PartitionAt(key int32, level int) int {
+	return int(hash.Murmur2(uint32(key), levelSeed(level)) & (Partitions - 1))
+}
+
 // Clamp normalizes a configured shard count: values below 1 select one
 // shard, values above Partitions are capped at Partitions (extra shards
 // would own no partition).
@@ -84,9 +103,17 @@ func OwnedBy(k, shards int) []int {
 // the returned relations' columns are freshly allocated (they do not
 // alias r).
 func Split(r rel.Relation) [Partitions]rel.Relation {
+	return SplitAt(r, 0)
+}
+
+// SplitAt is Split at a repartitioning level: tuple i lands in partition
+// PartitionAt(r.Keys[i], level). Level 0 is the fixed grid; deeper levels
+// are the spill path's recursive sub-splits of one oversized partition,
+// each a pure function of r exactly as Split is.
+func SplitAt(r rel.Relation, level int) [Partitions]rel.Relation {
 	var counts [Partitions]int
 	for _, k := range r.Keys {
-		counts[PartitionOf(k)]++
+		counts[PartitionAt(k, level)]++
 	}
 	var out [Partitions]rel.Relation
 	for p, n := range counts {
@@ -96,7 +123,7 @@ func Split(r rel.Relation) [Partitions]rel.Relation {
 		out[p] = rel.Relation{RIDs: make([]int32, 0, n), Keys: make([]int32, 0, n)}
 	}
 	for i, k := range r.Keys {
-		p := PartitionOf(k)
+		p := PartitionAt(k, level)
 		out[p].RIDs = append(out[p].RIDs, r.RIDs[i])
 		out[p].Keys = append(out[p].Keys, k)
 	}
@@ -142,6 +169,9 @@ func MergeResults(parts []*core.Result) *core.Result {
 		out.Cache.Accesses += r.Cache.Accesses
 		out.Cache.Misses += r.Cache.Misses
 		out.ZeroCopyBytes += r.ZeroCopyBytes
+		out.SpilledPartitions += r.SpilledPartitions
+		out.SpillBytes += r.SpillBytes
+		out.SpillNS += r.SpillNS
 		out.AllocStats.Allocs += r.AllocStats.Allocs
 		out.AllocStats.Words += r.AllocStats.Words
 		out.AllocStats.GlobalAtomics += r.AllocStats.GlobalAtomics

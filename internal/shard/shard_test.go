@@ -128,3 +128,82 @@ func TestSplitPreservesJoinCount(t *testing.T) {
 		t.Fatalf("per-partition join count %d != whole-relation count %d", got, want)
 	}
 }
+
+// SplitAt at every repartitioning level the spill path can reach must
+// place every tuple exactly once in its key's level partition, be a pure
+// function of the relation, and agree with Split at level 0.
+func TestSplitAtLevelsPartitionEveryTupleOnce(t *testing.T) {
+	g := rel.Gen{N: 1 << 12, Dist: rel.LowSkew, Seed: 21}
+	r := g.Build()
+	if a, b := Split(r), SplitAt(r, 0); !reflect.DeepEqual(a, b) {
+		t.Fatal("SplitAt(r, 0) differs from Split(r)")
+	}
+	for level := 0; level <= 3; level++ {
+		parts := SplitAt(r, level)
+		total := 0
+		for p, pr := range parts {
+			total += pr.Len()
+			for _, k := range pr.Keys {
+				if PartitionAt(k, level) != p {
+					t.Fatalf("level %d partition %d holds key %d owned by %d",
+						level, p, k, PartitionAt(k, level))
+				}
+			}
+		}
+		if total != r.Len() {
+			t.Fatalf("level %d split scattered %d of %d tuples", level, total, r.Len())
+		}
+		if again := SplitAt(r, level); !reflect.DeepEqual(parts, again) {
+			t.Fatalf("SplitAt at level %d is not deterministic", level)
+		}
+	}
+}
+
+// TestSplitAtDecorrelatedSeeds is the property the spill path's recursion
+// rests on: every key of a level-0 partition shares that level's hash
+// slot, so re-splitting it at level 0 lands everything back in one
+// sub-partition — while level 1, hashing with a decorrelated seed,
+// actually subdivides it.
+func TestSplitAtDecorrelatedSeeds(t *testing.T) {
+	r := rel.Gen{N: 1 << 13, Seed: 22}.Build()
+	for p, part := range Split(r) {
+		if part.Len() < Partitions {
+			continue
+		}
+		nonEmpty := func(parts [Partitions]rel.Relation) int {
+			n := 0
+			for _, pr := range parts {
+				if pr.Len() > 0 {
+					n++
+				}
+			}
+			return n
+		}
+		if got := nonEmpty(SplitAt(part, 0)); got != 1 {
+			t.Errorf("partition %d re-split at level 0 spans %d partitions, want the degenerate 1", p, got)
+		}
+		if got := nonEmpty(SplitAt(part, 1)); got < 2 {
+			t.Errorf("partition %d split at level 1 spans %d partitions, want a real subdivision", p, got)
+		}
+	}
+}
+
+// TestSplitAtPreservesJoinCount: a join decomposed over any repartitioning
+// level sums to the undecomposed count — the equi-join distributes over
+// key-disjoint partitions at every level, which is what lets an oversized
+// partition recurse without changing a single match.
+func TestSplitAtPreservesJoinCount(t *testing.T) {
+	build := rel.Gen{N: 3000, Dist: rel.HighSkew, Seed: 23}.Build()
+	probe := rel.Gen{N: 4000, Dist: rel.LowSkew, Seed: 24}.Probe(build, 0.7)
+	want := rel.NaiveJoinCount(build, probe)
+	for level := 0; level <= 3; level++ {
+		bp, pp := SplitAt(build, level), SplitAt(probe, level)
+		var got int64
+		for p := 0; p < Partitions; p++ {
+			got += rel.NaiveJoinCount(bp[p], pp[p])
+		}
+		if got != want {
+			t.Errorf("level %d decomposed join counts %d, undecomposed %d", level, got, want)
+		}
+	}
+}

@@ -19,15 +19,23 @@ import (
 // built for it). Set Materialize to route intermediates through the
 // catalog instead: registered, measured at ingest like any relation, and
 // charged until the pipeline finishes. Results are bit-identical on both
-// paths; only PipelineResult.PeakIntermediateBytes differs. Either way an
-// intermediate the budget cannot hold fails the pipeline with ErrNoSpace
-// before it is allocated.
+// paths; only PipelineResult.PeakIntermediateBytes differs. A streamed
+// intermediate the budget cannot hold does not fail the pipeline: the
+// remaining chain spills — hybrid-hash partitioned through a simulated
+// spill store, as many partitions resident as the budget allows — and
+// completes with the same matches, reported by the PipelineResult's
+// SpilledPartitions/SpillBytes/SpillNS/SpillDepth. The materialized path
+// keeps the strict contract and fails with ErrNoSpace before the
+// intermediate is allocated.
 //
 // Unless DeclaredOrder is set, a greedy cost-based orderer picks the
 // cheapest left-deep order from the catalog's ingest-time skew and
 // selectivity statistics; a pipeline with any Inline source has no
-// statistics for the orderer and runs in declaration order. Ordering never
-// changes the final match count.
+// statistics for the orderer and runs in declaration order. Mid-pipeline,
+// a step whose observed matches deviate from the orderer's estimate by
+// more than the estimate itself triggers a re-plan of the remaining steps
+// (PipelineResult.Replans counts them). Neither ordering, re-planning nor
+// spilling ever changes the final match count.
 //
 //	pr, err := eng.JoinPipeline(ctx, apujoin.Pipeline{Sources: []apujoin.Source{
 //		apujoin.Ref("orders"), apujoin.Ref("lineitem"), apujoin.Ref("returns"),
@@ -69,9 +77,11 @@ type PipelineStep = service.PipelineStep
 // once from the full-relation statistics — and each fixed hash partition
 // then runs the whole chain independently before the deterministic
 // per-step merge; every reported number, including PeakIntermediateBytes,
-// is bit-identical for any shard count. Per-step Plan reports are omitted
-// there (each partition plans on its own planner; one PlanInfo cannot
-// represent them).
+// is bit-identical for any shard count. Per-step Plan reports aggregate
+// the per-partition planners' decisions (representative algo/scheme,
+// predictions summed in partition order, CacheHit only when every planned
+// partition hit). Sharded pipelines do not re-plan mid-query — the global
+// order is part of the merge contract.
 func (e *Engine) JoinPipeline(ctx context.Context, p Pipeline, opts ...JoinOption) (*PipelineResult, error) {
 	cfg := applyJoinOptions(opts)
 	spec := service.PipelineSpec{

@@ -134,6 +134,15 @@ func TestShardInvariance(t *testing.T) {
 						o.explicit.Matches, o.tiny.Matches)
 				}
 
+				// Per-step plans must survive sharding: every step of the
+				// auto streamed pipeline carries the aggregated PlanInfo,
+				// exactly as on the unsharded engine.
+				for i, st := range o.streamed.Steps {
+					if st.Plan == nil || st.Plan.Algo == "" || st.Plan.Scheme == "" {
+						t.Errorf("streamed auto step %d: missing per-step PlanInfo: %+v", i, st.Plan)
+					}
+				}
+
 				if ref == nil {
 					ref, refCfg = o, cfg
 					return
@@ -149,6 +158,98 @@ func TestShardInvariance(t *testing.T) {
 					if !reflect.DeepEqual(pair[0], pair[1]) {
 						t.Errorf("%s differs between %s and %s", name, cfg, refCfg)
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardSpillInvariance is the spill tentpole's acceptance gate: a
+// pipeline whose selectivity-1 intermediates overflow the residency
+// budget — the materialized run still fails with ErrNoSpace, proving
+// the budget genuinely cannot hold them — completes on the streamed
+// path by spilling, matches the unconstrained run exactly, and the
+// full PipelineResult (match counts, every simulated time, the spill
+// accounting itself) is bit-identical for worker counts 1 and
+// GOMAXPROCS and shard counts 1, 2 and 4 with the total budget held
+// fixed.
+func TestShardSpillInvariance(t *testing.T) {
+	// Total residency budget across all shards, divisible by 4 so every
+	// shard count gets an exact split and the per-partition budget —
+	// total/8, the quantity spill decisions and with them the simulated
+	// spill I/O depend on — is bit-identical for shards 1, 2 and 4. The
+	// 48 000 relation tuples leave ~13.6 KB headroom: enough for the
+	// hash-split imbalance at registration, too little for any single
+	// partition's ~16 KB selectivity-1 intermediate.
+	const totalBudget = 397_600
+	rg := Gen{N: 16000, Seed: 1}
+	sg := Gen{N: 16000, Seed: 2}
+	ug := Gen{N: 16000, Seed: 3}
+	register := func(t *testing.T, eng *Engine) {
+		t.Helper()
+		if _, err := eng.Register("r", rg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RegisterProbe("s", "r", sg, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RegisterProbe("u", "r", ug, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sources := []Source{Ref("r"), Ref("s"), Ref("u")}
+	opts := []JoinOption{WithDelta(0.25), WithPilotItems(1 << 8)}
+	ctx := context.Background()
+
+	unconstrained := NewEngine(Workers(2))
+	defer unconstrained.Close()
+	register(t, unconstrained)
+	base, err := unconstrained.JoinPipeline(ctx, Pipeline{Sources: sources}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SpilledPartitions != 0 || base.SpillBytes != 0 {
+		t.Fatalf("unconstrained reference spilled: partitions=%d bytes=%d",
+			base.SpilledPartitions, base.SpillBytes)
+	}
+
+	var ref *PipelineResult
+	var refCfg string
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, shards := range []int{1, 2, 4} {
+			cfg := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			t.Run(cfg, func(t *testing.T) {
+				eng := NewEngine(Workers(workers), WithShards(shards),
+					WithShardBudget(totalBudget/int64(shards)))
+				defer eng.Close()
+				register(t, eng)
+
+				// Seed behavior, kept on the materialized path: the budget
+				// cannot hold the intermediates.
+				if _, err := eng.JoinPipeline(ctx, Pipeline{
+					Sources: sources, Materialize: true,
+				}, opts...); !errors.Is(err, catalog.ErrNoSpace) {
+					t.Fatalf("materialized run under budget: err %v, want catalog.ErrNoSpace", err)
+				}
+
+				res, err := eng.JoinPipeline(ctx, Pipeline{Sources: sources}, opts...)
+				if err != nil {
+					t.Fatalf("streamed run under budget: %v", err)
+				}
+				if res.Final.Matches != base.Final.Matches {
+					t.Errorf("spilled matches %d, unconstrained %d",
+						res.Final.Matches, base.Final.Matches)
+				}
+				if res.SpilledPartitions == 0 || res.SpillBytes == 0 || res.SpillNS == 0 {
+					t.Errorf("constrained run reports no spill: partitions=%d bytes=%d ns=%v",
+						res.SpilledPartitions, res.SpillBytes, res.SpillNS)
+				}
+				if ref == nil {
+					ref, refCfg = res, cfg
+					return
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Errorf("spilled PipelineResult differs between %s and %s", cfg, refCfg)
 				}
 			})
 		}
@@ -228,16 +329,40 @@ func TestShardedEngineCloseNoGoroutineLeaks(t *testing.T) {
 }
 
 // TestShardedEngineSurface covers the sharded facade's documented edges:
-// probes anchored on bulk-loaded relations are rejected (no spec to
-// regenerate from), JoinExternal refuses catalog references, and Drop
-// unbinds across every shard.
+// probes anchored on bulk-loaded relations reassemble the loaded base
+// from its pinned partitions and register exactly as on an unsharded
+// engine, JoinExternal refuses catalog references, and Drop unbinds
+// across every shard.
 func TestShardedEngineSurface(t *testing.T) {
 	eng := NewEngine(Workers(2), WithShards(2))
 	defer eng.Close()
-	shardFixture(t, eng)
+	tiny := shardFixture(t, eng)
 
-	if _, err := eng.RegisterProbe("p", "tiny", Gen{N: 100, Seed: 1}, 1.0); err == nil {
-		t.Error("probe of a bulk-loaded relation registered on a sharded engine, want error")
+	// Probe-of-loaded: the router reassembles "tiny" in original tuple
+	// order, so the registration — and the resulting join counts — match an
+	// unsharded engine bit for bit.
+	if _, err := eng.RegisterProbe("p", "tiny", Gen{N: 100, Seed: 1}, 1.0); err != nil {
+		t.Errorf("probe of a bulk-loaded relation on a sharded engine: %v", err)
+	} else {
+		flat := NewEngine(Workers(2))
+		defer flat.Close()
+		if _, err := flat.Load("tiny", tiny); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := flat.RegisterProbe("p", "tiny", Gen{N: 100, Seed: 1}, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := eng.Join(context.Background(), Ref("tiny"), Ref("p"), WithAlgo(SHJ), WithScheme(DD), WithDelta(0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsharded, err := flat.Join(context.Background(), Ref("tiny"), Ref("p"), WithAlgo(SHJ), WithScheme(DD), WithDelta(0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Matches != unsharded.Matches {
+			t.Errorf("probe-of-loaded join: sharded %d matches, unsharded %d", sharded.Matches, unsharded.Matches)
+		}
 	}
 	// Probe-of-probe regenerates the whole chain.
 	if _, err := eng.RegisterProbe("chained", "lineitem", Gen{N: 500, Seed: 9}, 0.5); err != nil {
